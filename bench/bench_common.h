@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: the experiment flows of §5 —
+ * launch, apply user state, change configuration, measure — with the
+ * paper's five-run replication, plus paper-anchor reporting.
+ */
+#ifndef RCHDROID_BENCH_BENCH_COMMON_H
+#define RCHDROID_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "platform/stats.h"
+#include "platform/strings.h"
+#include "sim/android_system.h"
+
+namespace rchdroid::bench {
+
+/** Deviation note comparing a measured value against the paper's. */
+inline std::string
+paperDelta(double measured, double paper)
+{
+    if (paper == 0.0)
+        return "n/a";
+    const double pct = (measured - paper) / paper * 100.0;
+    return formatDouble(pct, 1) + "%";
+}
+
+/** Print the standard bench header. */
+inline void
+printHeader(const std::string &id, const std::string &title)
+{
+    std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+/** Build options for a mode with defaults used across benches. */
+inline sim::SystemOptions
+optionsFor(RuntimeChangeMode mode)
+{
+    sim::SystemOptions options;
+    options.mode = mode;
+    return options;
+}
+
+/**
+ * Measure the steady-state (post-first-change) runtime-change handling
+ * time for an app: launch, apply state, perform `warmup_changes` + 1
+ * changes, report the last episode. Each of the `runs` repetitions uses
+ * a fresh system, mirroring the paper's "mean of at least five runs".
+ */
+struct HandlingMeasurement
+{
+    RunningStat handling_ms;
+    RunningStat init_ms;
+    bool crashed = false;
+};
+
+inline HandlingMeasurement
+measureHandling(RuntimeChangeMode mode, const apps::AppSpec &spec,
+                int runs = 5, int steady_changes = 3)
+{
+    HandlingMeasurement out;
+    for (int run = 0; run < runs; ++run) {
+        sim::AndroidSystem system(optionsFor(mode));
+        system.install(spec);
+        system.launch(spec);
+        system.applyUserState(spec);
+
+        // First change: the RCHDroid-init episode.
+        system.rotate();
+        if (!system.waitHandlingComplete()) {
+            out.crashed = true;
+            continue;
+        }
+        out.init_ms.add(system.lastHandlingMs());
+        system.runFor(seconds(1));
+
+        // Subsequent changes: the steady state (coin-flip under
+        // RCHDroid, plain restart under Android-10).
+        for (int change = 0; change < steady_changes; ++change) {
+            system.rotate();
+            if (!system.waitHandlingComplete()) {
+                out.crashed = true;
+                break;
+            }
+            out.handling_ms.add(system.lastHandlingMs());
+            system.runFor(seconds(1));
+        }
+    }
+    return out;
+}
+
+} // namespace rchdroid::bench
+
+#endif // RCHDROID_BENCH_BENCH_COMMON_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Table 2 reproduction — RCHDroid's implementation inventory.
+ *
+ * The paper patches eight AOSP classes with 348 LoC total. This bench
+ * prints the paper's inventory next to where each modification lives in
+ * this reproduction (and, when the source tree is reachable, the actual
+ * line counts of the corresponding modules).
+ */
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.h"
+
+#ifndef RCHDROID_SOURCE_DIR
+#define RCHDROID_SOURCE_DIR ""
+#endif
+
+namespace rchdroid::bench {
+namespace {
+
+/** Count lines of a source file under the repo; -1 when unreachable. */
+int
+countLines(const std::string &relative)
+{
+    const std::string root = RCHDROID_SOURCE_DIR;
+    if (root.empty())
+        return -1;
+    std::ifstream in(root + "/" + relative);
+    if (!in)
+        return -1;
+    int lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++lines;
+    return lines;
+}
+
+std::string
+locCell(std::initializer_list<const char *> files)
+{
+    int total = 0;
+    for (const char *file : files) {
+        const int n = countLines(file);
+        if (n < 0)
+            return "n/a";
+        total += n;
+    }
+    return std::to_string(total);
+}
+
+int
+run()
+{
+    printHeader("Table 2", "implementations and modifications");
+    TablePrinter table({"Paper class", "Paper change", "Paper LoC",
+                        "This repo", "Repo LoC"});
+    table.addRow({"Activity", "Shadow/Sunny states + accessors", "81",
+                  "src/app/activity.{h,cc} (enterShadowState, "
+                  "getAllSunnyViews, setSunnyViews)",
+                  locCell({"src/app/activity.h", "src/app/activity.cc"})});
+    table.addRow({"View",
+                  "states, sunny-peer pointer, modified invalidate", "79",
+                  "src/view/view.{h,cc} + widget applyMigration",
+                  locCell({"src/view/view.h", "src/view/view.cc"})});
+    table.addRow({"ViewGroup", "dispatchShadow/SunnyStateChanged", "12",
+                  "src/view/view_group.{h,cc}",
+                  locCell({"src/view/view_group.h",
+                           "src/view/view_group.cc"})});
+    table.addRow({"Intent", "sunny flag", "4", "src/app/intent.h",
+                  locCell({"src/app/intent.h"})});
+    table.addRow({"ActivityThread",
+                  "shadow/sunny pointers, config-change path, GC", "91",
+                  "src/app/activity_thread.{h,cc} + "
+                  "src/rch/rch_client_handler.{h,cc}",
+                  locCell({"src/rch/rch_client_handler.h",
+                           "src/rch/rch_client_handler.cc"})});
+    table.addRow({"ActivityRecord", "shadow field + interfaces", "11",
+                  "src/ams/activity_record.h",
+                  locCell({"src/ams/activity_record.h"})});
+    table.addRow({"ActivityStack", "findShadowActivityLocked", "29",
+                  "src/ams/activity_stack.{h,cc}",
+                  locCell({"src/ams/activity_stack.h",
+                           "src/ams/activity_stack.cc"})});
+    table.addRow({"ActivityStarter",
+                  "coin-flipping record management", "41",
+                  "src/ams/activity_starter.{h,cc}",
+                  locCell({"src/ams/activity_starter.h",
+                           "src/ams/activity_starter.cc"})});
+    table.print();
+    std::printf("paper total: 348 LoC of AOSP patch. This repo builds the "
+                "whole substrate from scratch, so its modules are larger;\n"
+                "the *shape* reproduced is the inventory: the same eight "
+                "touch points, nothing app-side.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace rchdroid::bench
+
+int
+main()
+{
+    return rchdroid::bench::run();
+}

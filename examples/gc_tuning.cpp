@@ -1,0 +1,107 @@
+/**
+ * @file
+ * GC tuning: operating RCHDroid's threshold GC (§3.5) from the public
+ * API — how THRESH_T/THRESH_F trade handling latency against resident
+ * memory, and how to verify a policy with the built-in telemetry.
+ *
+ * Three policies run the same workload (a rotation every 12 seconds for
+ * three minutes on an image-heavy app):
+ *   eager:    THRESH_T = 2 s   — reclaim almost immediately,
+ *   paper:    THRESH_T = 50 s  — the paper's sweet spot,
+ *   hoarder:  THRESH_T = 10 min — never reclaim in this window.
+ */
+#include <cstdio>
+
+#include "platform/stats.h"
+#include "sim/android_system.h"
+
+using namespace rchdroid;
+
+namespace {
+
+struct PolicyResult
+{
+    double mean_handling_ms = 0.0;
+    double mean_memory_mb = 0.0;
+    std::uint64_t flips = 0;
+    std::uint64_t inits = 0;
+    std::uint64_t collections = 0;
+};
+
+PolicyResult
+runPolicy(const char *label, RchConfig rch)
+{
+    sim::SystemOptions options;
+    options.mode = RuntimeChangeMode::RchDroid;
+    options.rch = rch;
+    sim::AndroidSystem device(options);
+    const auto spec = apps::makeBenchmarkApp(24);
+    device.install(spec);
+    device.launch(spec);
+    auto &sampler = device.startMemorySampling(spec);
+
+    SampleSet handling;
+    for (int i = 0; i < 15; ++i) {
+        device.runFor(seconds(12));
+        device.rotate();
+        if (!device.waitHandlingComplete())
+            break;
+        handling.add(device.lastHandlingMs());
+    }
+    sampler.stop();
+
+    PolicyResult result;
+    result.mean_handling_ms = handling.mean();
+    result.mean_memory_mb = sampler.meanMb();
+    const auto &stats = device.installed(spec).handler->stats();
+    result.flips = stats.flips;
+    result.inits = stats.init_launches;
+    result.collections = stats.gc_collections;
+    std::printf("%-8s handling=%6.1fms  memory=%6.2fMB  flips=%llu "
+                "inits=%llu gc=%llu\n",
+                label, result.mean_handling_ms, result.mean_memory_mb,
+                static_cast<unsigned long long>(result.flips),
+                static_cast<unsigned long long>(result.inits),
+                static_cast<unsigned long long>(result.collections));
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("one rotation every 12 s for 3 minutes, three GC "
+                "policies:\n\n");
+
+    RchConfig eager;
+    eager.thresh_t = seconds(2);
+    eager.thresh_f = 1; // any recent entry at all blocks — almost never
+    eager.frequency_window = seconds(5);
+    eager.gc_interval = seconds(1);
+
+    RchConfig paper; // the defaults are the paper's choice
+    paper.gc_interval = seconds(1);
+
+    RchConfig hoarder;
+    hoarder.thresh_t = minutes(10);
+    hoarder.gc_interval = seconds(1);
+
+    const auto eager_result = runPolicy("eager", eager);
+    const auto paper_result = runPolicy("paper", paper);
+    const auto hoarder_result = runPolicy("hoarder", hoarder);
+
+    std::printf("\nreading the trade-off (Fig. 11 of the paper):\n");
+    std::printf("  eager reclaims between changes, so most changes pay "
+                "the init path\n  (%.1f ms vs %.1f ms) while saving %.2f MB "
+                "of average residency;\n",
+                eager_result.mean_handling_ms,
+                hoarder_result.mean_handling_ms,
+                hoarder_result.mean_memory_mb -
+                    eager_result.mean_memory_mb);
+    std::printf("  the paper's THRESH_T=50s keeps the shadow through this "
+                "cadence (flips=%llu)\n  at hoarder-level latency without "
+                "hoarding across long idles.\n",
+                static_cast<unsigned long long>(paper_result.flips));
+    return 0;
+}

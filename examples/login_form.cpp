@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Login form: the Twitter example of Fig. 13(a) — "the user name box
+ * content is lost after the restart caused by the configuration change"
+ * — plus a locale switch, the other common runtime change.
+ *
+ * The form uses an id-less EditText (stock Android's default save skips
+ * it) and a remember-me CheckBox without an id. The user types their
+ * name, the device is resized (`wm size`), then the system language
+ * changes; on RCHDroid the half-typed form survives both.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "sim/android_system.h"
+#include "view/text_view.h"
+#include "view/view_group.h"
+
+using namespace rchdroid;
+
+namespace {
+
+class LoginActivity final : public Activity
+{
+  public:
+    LoginActivity() : Activity("com.example.login/.LoginActivity") {}
+
+    EditText *
+    nameBox()
+    {
+        EditText *box = nullptr;
+        window().decorView().visit([&box](View &v) {
+            if (!box)
+                box = dynamic_cast<EditText *>(&v);
+        });
+        return box;
+    }
+
+    CheckBox *
+    rememberMe()
+    {
+        CheckBox *box = nullptr;
+        window().decorView().visit([&box](View &v) {
+            if (!box)
+                box = dynamic_cast<CheckBox *>(&v);
+        });
+        return box;
+    }
+
+  protected:
+    void
+    onCreate(const Bundle *) override
+    {
+        auto root = std::make_unique<LinearLayout>(
+            "root", LinearLayout::Direction::Vertical);
+        auto heading = std::make_unique<TextView>("heading");
+        heading->setText(headingFor(configuration().locale));
+        root->addChild(std::move(heading));
+        auto name = std::make_unique<EditText>(""); // no id: Fig. 13(a)
+        name->setHint("username");
+        root->addChild(std::move(name));
+        auto remember = std::make_unique<CheckBox>("");
+        remember->setText("remember me");
+        root->addChild(std::move(remember));
+        auto sign_in = std::make_unique<Button>("sign_in");
+        sign_in->setText("Sign in");
+        root->addChild(std::move(sign_in));
+        setContentView(std::move(root));
+    }
+
+    void
+    onConfigurationChanged(const Configuration &config) override
+    {
+        // Apps that keep the instance still re-localise by hand.
+        if (auto *heading = findViewByIdAs<TextView>("heading"))
+            heading->setText(headingFor(config.locale));
+    }
+
+  private:
+    static std::string
+    headingFor(const std::string &locale)
+    {
+        return locale == "fr-FR" ? "Connexion" : "Sign in to your account";
+    }
+};
+
+void
+runOn(RuntimeChangeMode mode)
+{
+    sim::SystemOptions options;
+    options.mode = mode;
+    sim::AndroidSystem device(options);
+    sim::CustomAppParams params;
+    params.process = "com.example.login";
+    params.component = "com.example.login/.LoginActivity";
+    params.factory = [] { return std::make_unique<LoginActivity>(); };
+    device.installCustom(params);
+    device.launchProcess("com.example.login");
+
+    auto &thread = *device.installedProcess("com.example.login").thread;
+    auto login = std::dynamic_pointer_cast<LoginActivity>(
+        device.foregroundActivityOf("com.example.login"));
+    thread.postAppCallback([login] {
+        login->nameBox()->typeText("ada.lovelace");
+        login->rememberMe()->setChecked(true);
+    });
+    device.runFor(milliseconds(10));
+
+    device.wmSize(1080, 1920); // resize: the §6 methodology
+    device.waitHandlingComplete();
+    device.runFor(seconds(1));
+    device.setLocale("fr-FR"); // language switch, another runtime change
+    device.waitHandlingComplete();
+    device.runFor(seconds(1));
+
+    auto after = std::dynamic_pointer_cast<LoginActivity>(
+        device.foregroundActivityOf("com.example.login"));
+    std::printf("%-11s name=\"%s\"  remember-me=%s\n",
+                runtimeChangeModeName(mode),
+                after->nameBox()->text().c_str(),
+                after->rememberMe()->isChecked() ? "on" : "off");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("half-typed login form through a resize and a language "
+                "switch:\n\n");
+    runOn(RuntimeChangeMode::Restart);
+    runOn(RuntimeChangeMode::RchDroid);
+    std::printf("\nthe Fig. 13(a) loss class (id-less text box) and its "
+                "RCHDroid fix.\n");
+    return 0;
+}

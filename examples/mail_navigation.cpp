@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Mail navigation: a two-screen app (inbox → message detail) driven
+ * through the public navigation API — startActivity, back press — with
+ * a rotation landing on each screen.
+ *
+ * Shows what RCHDroid means for multi-activity apps: the change is
+ * handled for whichever screen is in front, the inbox's half-typed
+ * search box survives being backgrounded AND rotated, and navigating
+ * away releases the detail screen's shadow instance immediately (the
+ * §3.5 rule), which the printed ATMS record count makes visible.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "sim/android_system.h"
+#include "view/list_view.h"
+#include "view/text_view.h"
+#include "view/view_group.h"
+
+using namespace rchdroid;
+
+namespace {
+
+constexpr const char *kProcess = "com.example.mail";
+constexpr const char *kInbox = "com.example.mail/.InboxActivity";
+constexpr const char *kDetail = "com.example.mail/.DetailActivity";
+
+class InboxActivity final : public Activity
+{
+  public:
+    InboxActivity() : Activity(kInbox) {}
+
+  protected:
+    void
+    onCreate(const Bundle *) override
+    {
+        auto root = std::make_unique<LinearLayout>(
+            "root", LinearLayout::Direction::Vertical);
+        auto search = std::make_unique<EditText>("search");
+        search->setHint("search mail");
+        root->addChild(std::move(search));
+        auto list = std::make_unique<ListView>("messages");
+        list->setItems({"Re: invoices", "Build green", "Lunch?"});
+        root->addChild(std::move(list));
+        setContentView(std::move(root));
+    }
+};
+
+class DetailActivity final : public Activity
+{
+  public:
+    DetailActivity() : Activity(kDetail) {}
+
+  protected:
+    void
+    onCreate(const Bundle *) override
+    {
+        auto root = std::make_unique<LinearLayout>(
+            "root", LinearLayout::Direction::Vertical);
+        auto subject = std::make_unique<TextView>("subject");
+        subject->setText("Re: invoices");
+        root->addChild(std::move(subject));
+        auto body = std::make_unique<ScrollView>("body");
+        body->addChild(std::make_unique<TextView>("body_text"));
+        root->addChild(std::move(body));
+        setContentView(std::move(root));
+    }
+};
+
+void
+report(sim::AndroidSystem &device, const char *step)
+{
+    auto foreground = device.foregroundActivityOf(kProcess);
+    std::printf("%-34s foreground=%-16s records=%zu  handling=%6.1fms\n",
+                step,
+                foreground ? (foreground->component() == kInbox ? "Inbox"
+                                                                : "Detail")
+                           : "(none)",
+                device.atms().recordCount(), device.lastHandlingMs());
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::SystemOptions options;
+    options.mode = RuntimeChangeMode::RchDroid;
+    sim::AndroidSystem device(options);
+
+    sim::CustomAppParams params;
+    params.process = kProcess;
+    params.component = kInbox;
+    params.factory = [] { return std::make_unique<InboxActivity>(); };
+    device.installCustom(params);
+    device.declareExtraComponent(kProcess, kDetail, [] {
+        return std::make_unique<DetailActivity>();
+    });
+    device.launchProcess(kProcess);
+    report(device, "launched");
+
+    // The user starts a search...
+    auto inbox = device.foregroundActivityOf(kProcess);
+    device.installedProcess(kProcess).thread->postAppCallback([inbox] {
+        inbox->findViewByIdAs<EditText>("search")->typeText("inv");
+    });
+    device.runFor(milliseconds(10));
+
+    // ...rotates (RCHDroid shadows the inbox; note the extra record)...
+    device.rotate();
+    device.waitHandlingComplete();
+    report(device, "rotated on the inbox");
+
+    // ...opens a message (the inbox stops; its shadow is released)...
+    auto foreground = device.foregroundActivityOf(kProcess);
+    device.installedProcess(kProcess).thread->postAppCallback(
+        [foreground] { foreground->startActivity(kDetail); });
+    device.runFor(seconds(1));
+    report(device, "opened a message");
+
+    // ...rotates while reading (the detail screen gets the shadow)...
+    device.rotate();
+    device.waitHandlingComplete();
+    report(device, "rotated on the detail screen");
+
+    // ...and goes back. The detail pair is torn down; the inbox resumes
+    // with the search text intact.
+    device.pressBack();
+    device.runFor(seconds(1));
+    report(device, "pressed back");
+
+    auto resumed = device.foregroundActivityOf(kProcess);
+    std::printf("\nsearch box after the whole journey: \"%s\"\n",
+                resumed->findViewByIdAs<EditText>("search")->text().c_str());
+    return 0;
+}

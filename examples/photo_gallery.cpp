@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Photo gallery: the paper's Fig. 1 scenario as a runnable program.
+ *
+ * The gallery kicks off an AsyncTask that decodes thumbnails for five
+ * seconds and then writes them into its ImageViews — capturing raw view
+ * references at task start, as countless real apps do. The user rotates
+ * mid-download:
+ *
+ *   - stock Android 10 destroys the activity; the task returns into
+ *     released views and the process dies with a NullPointerException;
+ *   - RCHDroid shadows the old instance, shows a sunny one, and
+ *     lazy-migrates the thumbnails when they arrive.
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sim/android_system.h"
+#include "view/image_view.h"
+#include "view/text_view.h"
+#include "view/view_group.h"
+
+using namespace rchdroid;
+
+namespace {
+
+constexpr int kThumbnails = 6;
+
+class GalleryActivity final : public Activity
+{
+  public:
+    GalleryActivity() : Activity("com.example.photos/.GalleryActivity") {}
+
+    /** Start the thumbnail download (app logic, called by the UI). */
+    void
+    loadThumbnails()
+    {
+        auto self = context().thread->activityForToken(token());
+        auto task = std::make_shared<AsyncTask>(*context().thread, self,
+                                                "thumbnailLoader");
+        // The classic bug: raw view pointers captured at task start.
+        std::vector<ImageView *> slots;
+        window().decorView().visit([&slots](View &v) {
+            if (auto *image = dynamic_cast<ImageView *>(&v))
+                slots.push_back(image);
+        });
+        task->execute(seconds(5), [slots] {
+            int index = 0;
+            for (ImageView *slot : slots) {
+                slot->setDrawable(DrawableValue{
+                    "thumb_" + std::to_string(index++), 256, 256});
+            }
+        });
+    }
+
+  protected:
+    void
+    onCreate(const Bundle *) override
+    {
+        auto root = std::make_unique<LinearLayout>(
+            "root", LinearLayout::Direction::Vertical);
+        auto title = std::make_unique<TextView>("title");
+        title->setText("Holiday album");
+        root->addChild(std::move(title));
+        for (int i = 0; i < kThumbnails; ++i) {
+            root->addChild(
+                std::make_unique<ImageView>("slot_" + std::to_string(i)));
+        }
+        setContentView(std::move(root));
+    }
+};
+
+void
+runOn(RuntimeChangeMode mode)
+{
+    sim::SystemOptions options;
+    options.mode = mode;
+    sim::AndroidSystem device(options);
+
+    sim::CustomAppParams params;
+    params.process = "com.example.photos";
+    params.component = "com.example.photos/.GalleryActivity";
+    params.factory = [] { return std::make_unique<GalleryActivity>(); };
+    device.installCustom(params);
+    device.launchProcess("com.example.photos");
+
+    auto &thread = *device.installedProcess("com.example.photos").thread;
+    auto activity = std::dynamic_pointer_cast<GalleryActivity>(
+        device.foregroundActivityOf("com.example.photos"));
+    thread.postAppCallback([activity] { activity->loadThumbnails(); });
+    device.runFor(seconds(1));
+
+    // Rotate while the download is in flight.
+    device.rotate();
+    device.waitHandlingComplete();
+    device.runFor(seconds(6)); // the task returns in here
+
+    std::printf("--- %s ---\n", runtimeChangeModeName(mode));
+    if (thread.crashed()) {
+        std::printf("  app CRASHED: %s\n",
+                    thread.crashInfo()->reason.c_str());
+        std::printf("  (the AsyncTask returned into the restarted "
+                    "activity's released views)\n");
+        return;
+    }
+    auto foreground = device.foregroundActivityOf("com.example.photos");
+    int loaded = 0;
+    foreground->window().decorView().visit([&loaded](View &v) {
+        if (auto *image = dynamic_cast<ImageView *>(&v))
+            loaded += image->drawable().has_value();
+    });
+    std::printf("  app alive; %d/%d thumbnails visible on the %s screen\n",
+                loaded, kThumbnails,
+                foreground->configuration().orientation ==
+                        Orientation::Portrait
+                    ? "portrait"
+                    : "landscape");
+    const auto *handler =
+        device.installedProcess("com.example.photos").handler.get();
+    std::printf("  old instance state: %s; lazy migrations performed: %llu\n",
+                lifecycleStateName(activity->lifecycleState()),
+                static_cast<unsigned long long>(
+                    handler ? handler->stats().views_migrated : 0));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("rotating a photo gallery mid-download (Fig. 1 of the "
+                "paper):\n\n");
+    runOn(RuntimeChangeMode::Restart);
+    runOn(RuntimeChangeMode::RchDroid);
+    return 0;
+}

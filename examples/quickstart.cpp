@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Quickstart: write an Activity, install it on a simulated device
+ * running RCHDroid, rotate the screen, and watch the state survive —
+ * with zero runtime-change code in the app.
+ *
+ *   $ ./quickstart
+ *
+ * The same app runs on stock Android 10 first, so the before/after is
+ * visible in one output.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "sim/android_system.h"
+#include "view/text_view.h"
+#include "view/view_group.h"
+
+using namespace rchdroid;
+
+namespace {
+
+/**
+ * A note-taking screen: a label set programmatically (TextView text is
+ * NOT saved by stock Android's default instance state) and an id-less
+ * EditText (skipped entirely by the default save) — two textbook ways
+ * real apps lose state on rotation.
+ */
+class NotesActivity final : public Activity
+{
+  public:
+    NotesActivity() : Activity("com.example.notes/.NotesActivity") {}
+
+  protected:
+    void
+    onCreate(const Bundle *saved_state) override
+    {
+        (void)saved_state; // we never wrote onSaveInstanceState — typical!
+        auto root = std::make_unique<LinearLayout>(
+            "root", LinearLayout::Direction::Vertical);
+        auto status = std::make_unique<TextView>("status");
+        status->setText("0 unsaved notes");
+        root->addChild(std::move(status));
+        root->addChild(std::make_unique<EditText>("")); // oops: no id
+        setContentView(std::move(root));
+    }
+};
+
+/** Run the scenario on one system and report what the user sees. */
+void
+runOn(RuntimeChangeMode mode)
+{
+    sim::SystemOptions options;
+    options.mode = mode;
+    sim::AndroidSystem device(options);
+
+    sim::CustomAppParams params;
+    params.process = "com.example.notes";
+    params.component = "com.example.notes/.NotesActivity";
+    params.factory = [] { return std::make_unique<NotesActivity>(); };
+    device.installCustom(params);
+    device.launchProcess("com.example.notes");
+
+    // The user types a draft and the app updates its status label.
+    auto activity = device.foregroundActivityOf("com.example.notes");
+    device.installedProcess("com.example.notes")
+        .thread->postAppCallback([activity] {
+            activity->findViewByIdAs<TextView>("status")->setText(
+                "1 unsaved note");
+            EditText *draft = nullptr;
+            activity->window().decorView().visit([&draft](View &v) {
+                if (!draft)
+                    draft = dynamic_cast<EditText *>(&v);
+            });
+            draft->typeText("buy milk, fix the bug, call mum");
+        });
+    device.runFor(milliseconds(10));
+
+    // The runtime change: the user rotates the phone.
+    device.rotate();
+    device.waitHandlingComplete();
+    device.runFor(seconds(1));
+
+    auto after = device.foregroundActivityOf("com.example.notes");
+    EditText *draft = nullptr;
+    after->window().decorView().visit([&draft](View &v) {
+        if (!draft)
+            draft = dynamic_cast<EditText *>(&v);
+    });
+    std::printf("%-11s handling=%6.1fms  status=\"%s\"  draft=\"%s\"\n",
+                runtimeChangeModeName(mode), device.lastHandlingMs(),
+                after->findViewByIdAs<TextView>("status")->text().c_str(),
+                draft->text().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("rotating a note-taking app on both systems:\n\n");
+    runOn(RuntimeChangeMode::Restart);
+    runOn(RuntimeChangeMode::RchDroid);
+    std::printf("\nstock Android restarted the activity and lost both the "
+                "label and the id-less\ndraft; RCHDroid migrated them — "
+                "without the app containing a single line of\n"
+                "state-preservation code.\n");
+    return 0;
+}

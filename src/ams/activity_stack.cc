@@ -1,0 +1,120 @@
+#include "ams/activity_stack.h"
+
+#include <algorithm>
+
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+bool
+TaskRecord::remove(ActivityToken token)
+{
+    auto it = std::find(stack_.begin(), stack_.end(), token);
+    if (it == stack_.end())
+        return false;
+    stack_.erase(it);
+    return true;
+}
+
+bool
+TaskRecord::moveToTop(ActivityToken token)
+{
+    if (!remove(token))
+        return false;
+    stack_.push_back(token);
+    return true;
+}
+
+bool
+TaskRecord::contains(ActivityToken token) const
+{
+    return std::find(stack_.begin(), stack_.end(), token) != stack_.end();
+}
+
+TaskRecord &
+ActivityStack::createTask(const std::string &process)
+{
+    tasks_.push_back(std::make_unique<TaskRecord>(next_task_id_++, process));
+    return *tasks_.back();
+}
+
+TaskRecord *
+ActivityStack::topTask()
+{
+    return tasks_.empty() ? nullptr : tasks_.back().get();
+}
+
+const TaskRecord *
+ActivityStack::topTask() const
+{
+    return tasks_.empty() ? nullptr : tasks_.back().get();
+}
+
+TaskRecord *
+ActivityStack::taskForProcess(const std::string &process)
+{
+    for (auto &task : tasks_) {
+        if (task->process() == process)
+            return task.get();
+    }
+    return nullptr;
+}
+
+bool
+ActivityStack::moveTaskToFront(TaskId id)
+{
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i]->id() == id) {
+            auto task = std::move(tasks_[i]);
+            tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(i));
+            tasks_.push_back(std::move(task));
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ActivityStack::removeTask(TaskId id)
+{
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i]->id() == id) {
+            tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+TaskRecord *
+ActivityStack::taskContaining(ActivityToken token)
+{
+    for (auto &task : tasks_) {
+        if (task->contains(token))
+            return task.get();
+    }
+    return nullptr;
+}
+
+std::optional<ActivityToken>
+ActivityStack::findShadowActivityLocked(
+    const TaskRecord &task, const std::string &component,
+    const std::function<const ActivityRecord *(ActivityToken)> &lookup,
+    int &records_visited) const
+{
+    records_visited = 0;
+    const auto &tokens = task.tokens();
+    // Top-down: the coupled shadow record sits directly under the top in
+    // the steady state, so this usually terminates after two probes.
+    for (auto it = tokens.rbegin(); it != tokens.rend(); ++it) {
+        ++records_visited;
+        const ActivityRecord *record = lookup(*it);
+        if (!record)
+            continue;
+        if (record->isShadow() && record->component() == component)
+            return *it;
+    }
+    return std::nullopt;
+}
+
+} // namespace rchdroid

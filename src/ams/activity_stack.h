@@ -1,0 +1,127 @@
+/**
+ * @file
+ * TaskRecord and ActivityStack: the system_server's task/activity
+ * ordering, mirroring the structures of Fig. 2(b) — the activity stack
+ * holds task records (topmost = foreground app), each task holds a stack
+ * of activity records (topmost = current interface).
+ *
+ * Carries the Table 2 RCHDroid addition to ActivityStack:
+ * findShadowActivityLocked, the coin-flip search (29 LoC in the paper's
+ * patch).
+ */
+#ifndef RCHDROID_AMS_ACTIVITY_STACK_H
+#define RCHDROID_AMS_ACTIVITY_STACK_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ams/activity_record.h"
+
+namespace rchdroid {
+
+/** Identifier of a task (an app, in the paper's simplification). */
+using TaskId = std::uint64_t;
+
+/**
+ * One app's back stack of activity records.
+ */
+class TaskRecord
+{
+  public:
+    TaskRecord(TaskId id, std::string process)
+        : id_(id), process_(std::move(process))
+    {
+    }
+
+    TaskId id() const { return id_; }
+    const std::string &process() const { return process_; }
+
+    /** Push a record token on top. */
+    void push(ActivityToken token) { stack_.push_back(token); }
+
+    /** Top of the task stack, or kInvalidToken when empty. */
+    ActivityToken top() const
+    { return stack_.empty() ? kInvalidToken : stack_.back(); }
+
+    bool empty() const { return stack_.empty(); }
+    std::size_t depth() const { return stack_.size(); }
+
+    /** Tokens bottom → top. */
+    const std::vector<ActivityToken> &tokens() const { return stack_; }
+
+    /** Remove a token wherever it sits; true if found. */
+    bool remove(ActivityToken token);
+
+    /** Move an existing token to the top; true if found. */
+    bool moveToTop(ActivityToken token);
+
+    bool contains(ActivityToken token) const;
+
+  private:
+    TaskId id_;
+    std::string process_;
+    std::vector<ActivityToken> stack_;
+};
+
+/**
+ * The global ordering of tasks (topmost = foreground app).
+ *
+ * TaskRecord objects have stable addresses for their lifetime (heap
+ * storage): pointers handed out by createTask/taskForProcess stay valid
+ * until removeTask.
+ */
+class ActivityStack
+{
+  public:
+    ActivityStack() = default;
+
+    /** Create a task for a process and put it on top. */
+    TaskRecord &createTask(const std::string &process);
+
+    /** The foreground task, or null when none. */
+    TaskRecord *topTask();
+    const TaskRecord *topTask() const;
+
+    /** The task owned by `process`, or null. */
+    TaskRecord *taskForProcess(const std::string &process);
+
+    /** Bring a task to the front; true if found. */
+    bool moveTaskToFront(TaskId id);
+
+    /** Remove a task entirely (process death, app close). */
+    bool removeTask(TaskId id);
+
+    std::size_t taskCount() const { return tasks_.size(); }
+
+    /** Tasks bottom → top (stable pointees). */
+    const std::vector<std::unique_ptr<TaskRecord>> &tasks() const
+    { return tasks_; }
+
+    /** The task holding `token`, or null. */
+    TaskRecord *taskContaining(ActivityToken token);
+
+    /**
+     * RCHDroid (Table 2): search a task's stack top-down for a record
+     * flagged shadow whose component matches; the coin-flip probe.
+     * @param lookup Resolves a token to its record (null = skip).
+     * @param records_visited Out: how many records were examined (the
+     *        ATMS charges stack_search_per_record for each).
+     * @return The shadow record's token, or nullopt.
+     */
+    std::optional<ActivityToken> findShadowActivityLocked(
+        const TaskRecord &task, const std::string &component,
+        const std::function<const ActivityRecord *(ActivityToken)> &lookup,
+        int &records_visited) const;
+
+  private:
+    std::vector<std::unique_ptr<TaskRecord>> tasks_;
+    TaskId next_task_id_ = 1;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_AMS_ACTIVITY_STACK_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ActivityStarter: resolves startActivity intents into records, mirroring
+ * com.android.server.wm.ActivityStarter with the RCHDroid modifications
+ * of Table 2 (41 LoC in the paper's patch): startActivityUnchecked and
+ * setTaskFromIntentActivity gain the coin-flip path — on a sunny-flagged
+ * start, search the current task for a live shadow record and flip it to
+ * the top instead of creating a new activity (paper §3.4, Fig. 6).
+ */
+#ifndef RCHDROID_AMS_ACTIVITY_STARTER_H
+#define RCHDROID_AMS_ACTIVITY_STARTER_H
+
+#include <cstdint>
+
+#include "app/intent.h"
+
+namespace rchdroid {
+
+class Atms;
+class TaskRecord;
+
+/** Counters exposed for the ablation benches. */
+struct StarterStats
+{
+    std::uint64_t normal_starts = 0;
+    std::uint64_t sunny_creates = 0;
+    std::uint64_t coin_flips = 0;
+    std::uint64_t suppressed_same_top = 0;
+};
+
+/**
+ * The launch resolver; runs on the ATMS looper.
+ */
+class ActivityStarter
+{
+  public:
+    explicit ActivityStarter(Atms &atms);
+
+    /**
+     * Resolve and execute one start request. Must be called from within
+     * an ATMS looper dispatch (costs are charged there).
+     */
+    void startActivityUnchecked(const Intent &intent);
+
+    const StarterStats &stats() const { return stats_; }
+
+  private:
+    /** The sunny path: coin-flip an existing shadow record or create. */
+    void setTaskFromIntentActivity(TaskRecord &task, const Intent &intent);
+
+    Atms &atms_;
+    StarterStats stats_;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_AMS_ACTIVITY_STARTER_H

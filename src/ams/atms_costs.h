@@ -1,0 +1,32 @@
+/**
+ * @file
+ * AtmsCosts: server-side (system_server) cost constants, calibrated by
+ * sim::DeviceModel alongside the client-side FrameworkCosts.
+ */
+#ifndef RCHDROID_AMS_ATMS_COSTS_H
+#define RCHDROID_AMS_ATMS_COSTS_H
+
+#include "platform/time.h"
+
+namespace rchdroid {
+
+/** Costs charged on the ATMS looper. */
+struct AtmsCosts
+{
+    /** Receive + diff a configuration update, pick the top activity. */
+    SimDuration config_dispatch = 0;
+    /** startActivityUnchecked fixed part (intent resolution, checks). */
+    SimDuration start_activity_base = 0;
+    /** Allocate and initialise a new ActivityRecord. */
+    SimDuration record_create = 0;
+    /** findShadowActivityLocked: per record visited in the task stack. */
+    SimDuration stack_search_per_record = 0;
+    /** Reorder a found shadow record to the top (the coin flip). */
+    SimDuration flip_reorder = 0;
+    /** Generic transaction-handling overhead on the server looper. */
+    SimDuration transaction_handle = 0;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_AMS_ATMS_COSTS_H

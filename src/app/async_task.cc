@@ -1,0 +1,61 @@
+#include "app/async_task.h"
+
+#include <utility>
+
+#include "app/activity.h"
+#include "app/activity_thread.h"
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+AsyncTask::AsyncTask(ActivityThread &thread, std::shared_ptr<Activity> owner,
+                     std::string name)
+    : thread_(thread), owner_(std::move(owner)), name_(std::move(name))
+{
+}
+
+void
+AsyncTask::execute(SimDuration background_duration,
+                   std::function<void()> on_post_execute, SimDuration ui_cost)
+{
+    RCH_ASSERT(state_ == TaskState::Pending, "execute() called twice on ",
+               name_);
+    RCH_ASSERT(background_duration >= 0, "negative background duration");
+    state_ = TaskState::Running;
+    auto self = shared_from_this();
+    thread_.noteAsyncStarted(self);
+    thread_.workerLooper().post(
+        [self, on_post = std::move(on_post_execute), ui_cost] {
+            // The background work occupies the worker thread until the
+            // cost window closes; the result message is delivered to the
+            // UI thread at that moment, like AsyncTask's internal
+            // handler message.
+            const SimTime done = self->thread_.workerLooper().currentCostEnd();
+            self->thread_.postAppCallbackAt(
+                done,
+                [self, on_post] {
+                    if (self->state_ == TaskState::Cancelled) {
+                        self->thread_.noteAsyncFinished(self);
+                        return;
+                    }
+                    self->state_ = TaskState::Finished;
+                    // onPostExecute runs app logic; if the owning
+                    // activity was restarted underneath it, the view
+                    // accesses inside throw and the crash guard in
+                    // postAppCallbackAt ends the process.
+                    on_post();
+                    self->thread_.noteAsyncFinished(self);
+                },
+                ui_cost, self->name_ + ".onPostExecute");
+        },
+        0, background_duration, name_ + ".doInBackground");
+}
+
+void
+AsyncTask::cancel()
+{
+    if (state_ == TaskState::Pending || state_ == TaskState::Running)
+        state_ = TaskState::Cancelled;
+}
+
+} // namespace rchdroid

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * AsyncTask: background work with a UI-thread completion callback,
+ * mirroring android.os.AsyncTask.
+ *
+ * This is the protagonist of the paper's crash scenario (§1, Fig. 1): an
+ * app fires an AsyncTask, a runtime change restarts the activity while
+ * the task runs, and onPostExecute then touches released views. The
+ * task holds a strong reference to its owning activity — exactly the
+ * Java reference that keeps a destroyed activity (and its whole view
+ * tree) in memory until the task completes.
+ */
+#ifndef RCHDROID_APP_ASYNC_TASK_H
+#define RCHDROID_APP_ASYNC_TASK_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "platform/time.h"
+
+namespace rchdroid {
+
+class Activity;
+class ActivityThread;
+
+/**
+ * One background task instance. Create via std::make_shared; the thread
+ * keeps it alive while in flight.
+ */
+class AsyncTask : public std::enable_shared_from_this<AsyncTask>
+{
+  public:
+    /** Execution status. */
+    enum class TaskState {
+        Pending,
+        Running,
+        Finished,
+        Cancelled,
+    };
+
+    /**
+     * @param thread Hosting process.
+     * @param owner The activity this task updates; held strongly.
+     * @param name Trace label.
+     */
+    AsyncTask(ActivityThread &thread, std::shared_ptr<Activity> owner,
+              std::string name);
+
+    /**
+     * Start the task: occupy a worker thread for `background_duration`,
+     * then run `on_post_execute` on the UI thread (crash-guarded).
+     * @param ui_cost Virtual CPU the completion callback charges.
+     */
+    void execute(SimDuration background_duration,
+                 std::function<void()> on_post_execute,
+                 SimDuration ui_cost = 0);
+
+    /**
+     * Request cancellation: a cancelled task's onPostExecute is skipped
+     * (the mitigation well-written apps apply in onPause/onDestroy).
+     */
+    void cancel();
+
+    TaskState state() const { return state_; }
+    bool isCancelled() const { return state_ == TaskState::Cancelled; }
+    const std::string &name() const { return name_; }
+    const std::shared_ptr<Activity> &owner() const { return owner_; }
+
+  private:
+    ActivityThread &thread_;
+    std::shared_ptr<Activity> owner_;
+    std::string name_;
+    TaskState state_ = TaskState::Pending;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_APP_ASYNC_TASK_H

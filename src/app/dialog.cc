@@ -1,0 +1,61 @@
+#include "app/dialog.h"
+
+#include <utility>
+
+#include "app/activity.h"
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+Dialog::Dialog(Activity &owner, std::string title)
+    : owner_(owner), title_(std::move(title))
+{
+    owner_.registerDialog(this);
+}
+
+Dialog::~Dialog()
+{
+    owner_.unregisterDialog(this);
+}
+
+View &
+Dialog::setContent(std::unique_ptr<View> content)
+{
+    RCH_ASSERT(content != nullptr, "null dialog content");
+    content_root_ = std::move(content);
+    return *content_root_;
+}
+
+void
+Dialog::show()
+{
+    if (owner_.isDestroyed()) {
+        // android.view.WindowManager$BadTokenException: the activity's
+        // window token died with the restart.
+        throw UiException(UiFailureKind::WindowLeaked,
+                          "show dialog '" + title_ +
+                              "' on destroyed activity " +
+                              owner_.component());
+    }
+    showing_ = true;
+}
+
+void
+Dialog::dismiss()
+{
+    showing_ = false;
+}
+
+void
+Dialog::onOwnerDestroyed()
+{
+    if (showing_) {
+        // Android logs "Activity ... has leaked window" and force-closes
+        // the window; the process survives, the dialog vanishes.
+        RCH_LOGW("WindowManager", owner_.component(),
+                 " has leaked window from dialog '", title_, "'");
+        showing_ = false;
+    }
+}
+
+} // namespace rchdroid

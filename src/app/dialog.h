@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dialog: a window attached to an activity's token, mirroring
+ * android.app.Dialog.
+ *
+ * This models the paper's *other* crash signature (§2.3: "NullPointer
+ * and WindowLeaked exceptions"): an AsyncTask that shows a progress or
+ * result dialog after the restart finds its activity's window token
+ * dead — android.view.WindowManager$BadTokenException / WindowLeaked.
+ * Under RCHDroid the owning instance is alive in the shadow state, so
+ * the show succeeds.
+ */
+#ifndef RCHDROID_APP_DIALOG_H
+#define RCHDROID_APP_DIALOG_H
+
+#include <memory>
+#include <string>
+
+#include "view/view_group.h"
+
+namespace rchdroid {
+
+class Activity;
+
+/**
+ * A modal surface owned by app code, attached to one activity.
+ */
+class Dialog
+{
+  public:
+    /**
+     * @param owner The activity whose window token the dialog uses; the
+     *        dialog must not outlive it (it holds a plain reference,
+     *        like the Java object graph would).
+     * @param title Trace label.
+     */
+    Dialog(Activity &owner, std::string title);
+    ~Dialog();
+
+    Dialog(const Dialog &) = delete;
+    Dialog &operator=(const Dialog &) = delete;
+
+    const std::string &title() const { return title_; }
+    bool isShowing() const { return showing_; }
+    Activity &owner() { return owner_; }
+
+    /** Install the dialog's content view (optional). */
+    View &setContent(std::unique_ptr<View> content);
+    View *content() { return content_root_ ? content_root_.get() : nullptr; }
+
+    /**
+     * Show the dialog. Throws UiException(WindowLeaked) when the owning
+     * activity has been destroyed — the post-restart crash.
+     */
+    void show();
+
+    /** Dismiss; safe to call when not showing. */
+    void dismiss();
+
+  private:
+    friend class Activity;
+
+    /** The owning activity is going away; called from performDestroy. */
+    void onOwnerDestroyed();
+
+    Activity &owner_;
+    std::string title_;
+    std::unique_ptr<View> content_root_;
+    bool showing_ = false;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_APP_DIALOG_H

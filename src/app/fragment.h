@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fragment and FragmentManager: dynamically attached UI modules,
+ * mirroring androidx.fragment.app.Fragment.
+ *
+ * Fragments are the paper's §2.2 argument against app-level static
+ * patching: "the views are distributed and assigned in different
+ * fragments. The fragments can be dynamically attached to the main
+ * activity, which causes dynamic changes to the view tree." RCHDroid
+ * needs no special handling — fragment views are ordinary views in the
+ * tree, so the id-keyed snapshot, essence mapping and lazy migration
+ * cover them; this subsystem exists to prove exactly that in tests and
+ * examples.
+ */
+#ifndef RCHDROID_APP_FRAGMENT_H
+#define RCHDROID_APP_FRAGMENT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/bundle.h"
+#include "platform/status.h"
+#include "view/view_group.h"
+
+namespace rchdroid {
+
+class Activity;
+class FragmentManager;
+
+/**
+ * One dynamically attachable UI module. Subclass and implement
+ * onCreateView; the manager owns attachment.
+ */
+class Fragment
+{
+  public:
+    /** @param tag Unique tag within the activity, like the AOSP tag. */
+    explicit Fragment(std::string tag);
+    virtual ~Fragment() = default;
+
+    Fragment(const Fragment &) = delete;
+    Fragment &operator=(const Fragment &) = delete;
+
+    const std::string &tag() const { return tag_; }
+
+    /** Root view while attached; null otherwise. */
+    View *view() { return view_; }
+    const View *view() const { return view_; }
+    bool isAttached() const { return view_ != nullptr; }
+
+    /** Id of the container this fragment sits in ("" when detached). */
+    const std::string &containerId() const { return container_id_; }
+
+  protected:
+    /** Build this fragment's view tree (called at attach). */
+    virtual std::unique_ptr<View> onCreateView() = 0;
+
+    /** Persist fragment-private state (beyond its views). */
+    virtual void onSaveState(Bundle &out_state) { (void)out_state; }
+    virtual void onRestoreState(const Bundle &saved) { (void)saved; }
+
+  private:
+    friend class FragmentManager;
+
+    std::string tag_;
+    View *view_ = nullptr;
+    std::string container_id_;
+};
+
+/**
+ * Per-activity fragment registry, owned by Activity.
+ */
+class FragmentManager
+{
+  public:
+    explicit FragmentManager(Activity &activity);
+
+    FragmentManager(const FragmentManager &) = delete;
+    FragmentManager &operator=(const FragmentManager &) = delete;
+
+    /**
+     * Attach a fragment's view tree under the container view with
+     * `container_id`. Restores the fragment's saved state when the
+     * activity was initialised from a snapshot containing its tag.
+     */
+    Status attach(const std::string &container_id,
+                  std::shared_ptr<Fragment> fragment);
+
+    /** Detach (and discard the view of) the fragment with `tag`. */
+    Status detach(const std::string &tag);
+
+    std::shared_ptr<Fragment> findByTag(const std::string &tag);
+    std::size_t attachedCount() const { return fragments_.size(); }
+
+    /** @name Framework plumbing (Activity snapshot integration)
+     * @{
+     */
+    /** Save every attached fragment's private state, keyed by tag. */
+    void saveAllState(Bundle &container) const;
+    /** Stash restored state; consumed by later attach() calls. */
+    void setPendingRestoredState(Bundle state);
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        std::string container_id;
+        std::shared_ptr<Fragment> fragment;
+    };
+
+    Activity &activity_;
+    std::vector<Entry> fragments_;
+    Bundle pending_restored_;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_APP_FRAGMENT_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * FrameworkCosts: every virtual-CPU cost constant the client-side
+ * framework charges, in one calibratable bag.
+ *
+ * sim::DeviceModel produces the values (calibrated against the paper's
+ * RK3399 measurements, DESIGN.md §5); the app layer only consumes them.
+ */
+#ifndef RCHDROID_APP_FRAMEWORK_COSTS_H
+#define RCHDROID_APP_FRAMEWORK_COSTS_H
+
+#include "platform/time.h"
+
+namespace rchdroid {
+
+/** Client-process (ActivityThread) cost constants. */
+struct FrameworkCosts
+{
+    /** @name Activity construction / lifecycle callbacks
+     * @{
+     */
+    /** Instantiate the Activity object + attach context. */
+    SimDuration activity_construct = 0;
+    /** Framework share of onCreate (window setup, theme). */
+    SimDuration on_create_base = 0;
+    SimDuration on_start = 0;
+    SimDuration on_resume = 0;
+    SimDuration on_pause = 0;
+    SimDuration on_stop = 0;
+    /** Fixed part of tearing an activity down. */
+    SimDuration on_destroy_base = 0;
+    /** Per-view teardown (release drawables, detach). */
+    SimDuration destroy_per_view = 0;
+    /** @} */
+
+    /** @name Layout / render passes
+     * @{
+     */
+    /** Per-node view construction during inflate (LayoutInflater). */
+    SimDuration inflate_per_node = 0;
+    /** Measure+layout per view. */
+    SimDuration layout_per_view = 0;
+    /** First-frame draw per view. */
+    SimDuration draw_per_view = 0;
+    /**
+     * First-frame draw per KiB of decoded drawable content: complex,
+     * image-heavy UIs redraw slower. Dominates the flip-vs-restart gap
+     * on the heavyweight top-100 apps (Fig. 14a).
+     */
+    SimDuration draw_per_kib = 0;
+    /** @} */
+
+    /** @name Instance state
+     * @{
+     */
+    /** onSaveInstanceState fixed part. */
+    SimDuration save_state_base = 0;
+    /** Per-view saveHierarchyState. */
+    SimDuration save_state_per_view = 0;
+    /** Per-view restoreHierarchyState. */
+    SimDuration restore_state_per_view = 0;
+    /** @} */
+
+    /** @name RCHDroid client machinery (paper §3.3)
+     * @{
+     */
+    /** getAllSunnyViews: hash-table insert per sunny view. */
+    SimDuration mapping_insert_per_view = 0;
+    /** setSunnyViews: lookup + peer-pointer store per shadow view. */
+    SimDuration mapping_wire_per_view = 0;
+    /** Flip path: fixed cost to re-foreground the shadow instance. */
+    SimDuration flip_fixed = 0;
+    /** Flip path: per-view state sync from outgoing to incoming tree. */
+    SimDuration flip_sync_per_view = 0;
+    /** Lazy migration: fixed interception overhead per async batch. */
+    SimDuration migrate_batch_base = 0;
+    /** Lazy migration: per migrated view. */
+    SimDuration migrate_per_view = 0;
+    /** doGcForShadowIfNeeded check. */
+    SimDuration gc_check = 0;
+    /** @} */
+
+    /** @name Process-level
+     * @{
+     */
+    /** Dispatch overhead of any binder transaction handler. */
+    SimDuration transaction_handle = 0;
+    /** @} */
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_APP_FRAMEWORK_COSTS_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Intent: an activity start request, mirroring android.content.Intent.
+ *
+ * Carries the RCHDroid addition from Table 2: the FLAG_SUNNY bit (4 LoC
+ * in the paper's patch) that tells the ActivityStarter this start is the
+ * sunny half of a runtime-change handling, so a second instance of the
+ * top activity is permitted and the coin-flip search should run.
+ */
+#ifndef RCHDROID_APP_INTENT_H
+#define RCHDROID_APP_INTENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace rchdroid {
+
+/** Intent launch flags (subset used by the launch paths modelled here). */
+enum IntentFlags : std::uint32_t {
+    kFlagNone = 0,
+    /** Start in a new task. */
+    kFlagNewTask = 1u << 0,
+    /** Reuse the top activity if it matches. */
+    kFlagSingleTop = 1u << 1,
+    /**
+     * RCHDroid: this start creates/flips the sunny-state instance of a
+     * runtime change; bypass the same-activity-on-top suppression.
+     */
+    kFlagSunny = 1u << 2,
+};
+
+/**
+ * An activity start request.
+ */
+struct Intent
+{
+    /** Target component, e.g. "com.example.photos/.GalleryActivity". */
+    std::string component;
+    /** Requesting process (used for task affinity). */
+    std::string source_process;
+    std::uint32_t flags = kFlagNone;
+
+    bool hasFlag(IntentFlags flag) const { return (flags & flag) != 0; }
+
+    Intent
+    withFlag(IntentFlags flag) const
+    {
+        Intent out = *this;
+        out.flags |= flag;
+        return out;
+    }
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_APP_INTENT_H

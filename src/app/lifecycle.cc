@@ -1,0 +1,69 @@
+#include "app/lifecycle.h"
+
+namespace rchdroid {
+
+const char *
+lifecycleStateName(LifecycleState state)
+{
+    switch (state) {
+      case LifecycleState::Initial: return "Initial";
+      case LifecycleState::Created: return "Created";
+      case LifecycleState::Started: return "Started";
+      case LifecycleState::Resumed: return "Resumed";
+      case LifecycleState::Paused: return "Paused";
+      case LifecycleState::Stopped: return "Stopped";
+      case LifecycleState::Destroyed: return "Destroyed";
+      case LifecycleState::Shadow: return "Shadow";
+      case LifecycleState::Sunny: return "Sunny";
+    }
+    return "Unknown";
+}
+
+bool
+isAlive(LifecycleState state)
+{
+    return state != LifecycleState::Initial &&
+           state != LifecycleState::Destroyed;
+}
+
+bool
+isForeground(LifecycleState state)
+{
+    return state == LifecycleState::Resumed || state == LifecycleState::Sunny;
+}
+
+bool
+isValidTransition(LifecycleState from, LifecycleState to)
+{
+    using S = LifecycleState;
+    switch (from) {
+      case S::Initial:
+        return to == S::Created;
+      case S::Created:
+        // Created → Started is the stock path; Created → Sunny is the
+        // "created and resumed with the sunny flag" dotted edge.
+        return to == S::Started || to == S::Sunny;
+      case S::Started:
+        return to == S::Resumed || to == S::Sunny || to == S::Stopped;
+      case S::Resumed:
+        // Resumed → Shadow is "stopped with the shadow flag".
+        return to == S::Paused || to == S::Shadow;
+      case S::Paused:
+        return to == S::Resumed || to == S::Stopped;
+      case S::Stopped:
+        return to == S::Started || to == S::Destroyed;
+      case S::Destroyed:
+        return false;
+      case S::Shadow:
+        // Coin-flip back to the foreground, or reclaimed by the GC.
+        return to == S::Sunny || to == S::Destroyed;
+      case S::Sunny:
+        // Sunny behaves as Resumed: it can pause (app swap), flip back to
+        // shadow at the next runtime change, or degrade to plain Resumed
+        // once its shadow partner is collected.
+        return to == S::Paused || to == S::Shadow || to == S::Resumed;
+    }
+    return false;
+}
+
+} // namespace rchdroid

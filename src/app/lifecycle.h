@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The activity lifecycle state machine of Fig. 4: the six stock Android
+ * states (Created, Started, Resumed, Paused, Stopped, Destroyed) plus the
+ * two states RCHDroid adds (Shadow, Sunny).
+ *
+ * The transition table encodes the solid arrows of the stock lifecycle
+ * and the dotted arrows of the paper: Resumed → Shadow (stop with the
+ * shadow flag at a runtime change), Created/Started → Sunny (resume with
+ * the sunny flag), Shadow → Sunny (coin-flip), Sunny → Shadow (coin-flip
+ * of the displaced foreground instance), Shadow → Destroyed (GC), and
+ * Sunny behaving as Resumed for all stock transitions.
+ */
+#ifndef RCHDROID_APP_LIFECYCLE_H
+#define RCHDROID_APP_LIFECYCLE_H
+
+#include <cstdint>
+#include <string>
+
+namespace rchdroid {
+
+/** Activity lifecycle states, Fig. 4. */
+enum class LifecycleState : std::uint8_t {
+    /** Not yet created (pre-onCreate). */
+    Initial,
+    Created,
+    Started,
+    Resumed,
+    Paused,
+    Stopped,
+    Destroyed,
+    /** RCHDroid: alive, invisible, still serving async callbacks. */
+    Shadow,
+    /** RCHDroid: foreground, equivalent to Resumed + migration duties. */
+    Sunny,
+};
+
+/** "Resumed", "Shadow", ... */
+const char *lifecycleStateName(LifecycleState state);
+
+/** True for states where the instance is alive (not Destroyed/Initial). */
+bool isAlive(LifecycleState state);
+
+/** True for the two foreground states (Resumed, Sunny). */
+bool isForeground(LifecycleState state);
+
+/** True when the Fig. 4 diagram contains an edge from → to. */
+bool isValidTransition(LifecycleState from, LifecycleState to);
+
+} // namespace rchdroid
+
+#endif // RCHDROID_APP_LIFECYCLE_H

@@ -1,0 +1,41 @@
+#include "app/window.h"
+
+#include <utility>
+
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+Window::Window() : decor_(std::make_unique<DecorView>())
+{
+}
+
+View &
+Window::setContent(std::unique_ptr<View> content)
+{
+    RCH_ASSERT(content != nullptr, "null content view");
+    if (content_) {
+        RCH_ASSERT(decor_->childCount() > 0, "content without decor child");
+        decor_->removeChildAt(decor_->childCount() - 1);
+        content_ = nullptr;
+    }
+    content_ = &decor_->addChild(std::move(content));
+    return *content_;
+}
+
+void
+Window::layout(int width_px, int height_px)
+{
+    decor_->layoutSubtree(0, 0, width_px, height_px);
+}
+
+std::size_t
+Window::memoryFootprintBytes() const
+{
+    std::size_t total = 0;
+    decor_->visitConst(
+        [&total](const View &v) { total += v.memoryFootprintBytes(); });
+    return total;
+}
+
+} // namespace rchdroid

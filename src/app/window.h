@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Window: the activity's top-level surface owning the decor view,
+ * mirroring android.view.Window / PhoneWindow.
+ */
+#ifndef RCHDROID_APP_WINDOW_H
+#define RCHDROID_APP_WINDOW_H
+
+#include <memory>
+
+#include "view/view_group.h"
+
+namespace rchdroid {
+
+/**
+ * Owns the decor view and the content view slot beneath it.
+ */
+class Window
+{
+  public:
+    Window();
+
+    Window(const Window &) = delete;
+    Window &operator=(const Window &) = delete;
+
+    /** The tree root. */
+    DecorView &decorView() { return *decor_; }
+    const DecorView &decorView() const { return *decor_; }
+
+    /**
+     * Install the content view (replacing any previous content), like
+     * Activity.setContentView. The window takes ownership.
+     */
+    View &setContent(std::unique_ptr<View> content);
+
+    /** The content view, or null before setContent. */
+    View *content() { return content_; }
+    const View *content() const { return content_; }
+
+    /** Total views in the window (decor + content subtree). */
+    int countViews() const { return decor_->countViews(); }
+
+    /** Run the layout pass for the given surface size. */
+    void layout(int width_px, int height_px);
+
+    /** Sum of view memory footprints in this window. */
+    std::size_t memoryFootprintBytes() const;
+
+  private:
+    std::unique_ptr<DecorView> decor_;
+    View *content_ = nullptr;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_APP_WINDOW_H

@@ -1,0 +1,42 @@
+#include "apps/corpus.h"
+
+namespace rchdroid::apps {
+
+AppSpec
+makeBenchmarkApp(int n_image_views, SimDuration async_duration)
+{
+    // §5.1: "each benchmark app's view tree contains a set of ImageViews
+    // and a Button view. The number of ImageViews is varied. When
+    // touching the button, an AsyncTask will be issued to update the
+    // ImageViews in five seconds."
+    AppSpec spec;
+    spec.name = "Benchmark" + std::to_string(n_image_views);
+    spec.downloads = "n/a";
+    spec.issue_description = "benchmark app (" +
+                             std::to_string(n_image_views) + " ImageViews)";
+    spec.expect_issue_stock = true; // async return after restart crashes
+    spec.expect_fixed_by_rch = true;
+    spec.critical = CriticalState::None;
+    spec.async.trigger = AsyncTrigger::OnButtonClick;
+    spec.async.duration = async_duration;
+    spec.async.ui_cost = 0;
+
+    spec.n_text_views = 0;
+    spec.n_edit_texts = 0;
+    spec.n_image_views = n_image_views;
+    spec.n_checkboxes = 0;
+    spec.n_progress_bars = 0;
+    spec.n_list_views = 0;
+    spec.n_video_views = 0;
+    // Small assets keep the restart cost dominated by the fixed
+    // framework path, matching the near-flat Android-10 line of
+    // Fig. 10(a).
+    spec.image_edge_px = 64;
+    spec.base_heap_bytes = 24u << 20;
+    spec.private_heap_bytes = 1u << 20;
+    spec.app_create_cost = 0;
+    spec.app_config_cost = 0;
+    return spec;
+}
+
+} // namespace rchdroid::apps

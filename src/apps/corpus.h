@@ -1,0 +1,48 @@
+/**
+ * @file
+ * corpus: the evaluation app sets.
+ *
+ *  - tp37(): the 27 runnable apps of the TP-37 set (Table 3), each with
+ *    the issue its row describes.
+ *  - top100(): the Google-Play top-100 study set (Table 5): 63 apps with
+ *    runtime-change issues (59 RCHDroid-fixable + 4 custom-state cases),
+ *    26 apps that declare android:configChanges, and 11 issue-free
+ *    default-handling apps.
+ *  - makeBenchmarkApp(): the §5.1 second app-set — n ImageViews plus a
+ *    Button whose tap fires an AsyncTask that updates the images.
+ *  - runtimeDroidEvalApps(): the Table 4 / Fig. 12 comparison apps.
+ *
+ * Composition parameters (view counts, drawable sizes, heap baselines)
+ * are synthesised deterministically per app name so that per-app
+ * latencies and memory numbers vary realistically while every run is
+ * reproducible.
+ */
+#ifndef RCHDROID_APPS_CORPUS_H
+#define RCHDROID_APPS_CORPUS_H
+
+#include <vector>
+
+#include "apps/app_spec.h"
+
+namespace rchdroid::apps {
+
+/** The 27 TP-37 apps of Table 3. */
+std::vector<AppSpec> tp37();
+
+/** The Google-Play top-100 apps of Table 5, in table order. */
+std::vector<AppSpec> top100();
+
+/**
+ * A §5.1 benchmark app: `n_image_views` ImageViews + one Button; the
+ * button starts an AsyncTask that updates every ImageView after
+ * `async_duration`.
+ */
+AppSpec makeBenchmarkApp(int n_image_views,
+                         SimDuration async_duration = seconds(5));
+
+/** The eight Table 4 apps used in the RuntimeDroid comparison. */
+std::vector<AppSpec> runtimeDroidEvalApps();
+
+} // namespace rchdroid::apps
+
+#endif // RCHDROID_APPS_CORPUS_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared helpers for the corpus translation units (internal).
+ */
+#ifndef RCHDROID_APPS_CORPUS_INTERNAL_H
+#define RCHDROID_APPS_CORPUS_INTERNAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace rchdroid::apps::detail {
+
+/** Deterministic per-name parameter synthesis (FNV-1a). */
+inline std::uint64_t
+nameHash(const std::string &name)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace rchdroid::apps::detail
+
+#endif // RCHDROID_APPS_CORPUS_INTERNAL_H

@@ -1,0 +1,272 @@
+#include "apps/corpus.h"
+
+#include "apps/corpus_internal.h"
+#include "platform/logging.h"
+
+namespace rchdroid::apps {
+
+namespace {
+
+using detail::nameHash;
+
+/**
+ * Issue classes of Table 5's "Specific Problem" column, plus the three
+ * no-issue flavours.
+ */
+enum class Row : char {
+    TextBox,       // "State loss (text box)"
+    LoginPage,     // "State loss (login page)" — a text-box variant
+    RegisterPage,  // "State loss (register page)"
+    SelectionList, // "State loss (selection list)"
+    ProductList,   // "State loss (product list)"
+    FaqList,       // "State loss (FAQ list)"
+    ScrollLoc,     // "State loss (scroll location)"
+    ZoomBar,       // "State loss (zoom bar)"
+    VolumeBar,     // "State loss (volume bar)"
+    ReportPage,    // "State loss (report page)"
+    FileNumber,    // "State loss (file number)"
+    TimerState,    // "State loss (timer state)"
+    LocationPage,  // "State loss (location page)"
+    CheckBoxRow,   // "State loss (check box)"
+    Unfixable,     // custom state, no onSaveInstanceState (#2/#57/#66/#70)
+    DeclaresCfg,   // no issue: manifest android:configChanges
+    DefaultSafe,   // no issue: state lives where the default save reaches
+};
+
+struct TableRow
+{
+    const char *name;
+    const char *downloads;
+    Row row;
+};
+
+CriticalState
+criticalFor(Row row)
+{
+    switch (row) {
+      case Row::TextBox:
+      case Row::LoginPage:
+      case Row::RegisterPage:
+        return CriticalState::EditTextNoId;
+      case Row::SelectionList:
+      case Row::ProductList:
+      case Row::FaqList:
+        return CriticalState::ListSelection;
+      case Row::ScrollLoc:
+        return CriticalState::ScrollOffsetNoId;
+      case Row::ZoomBar:
+      case Row::VolumeBar:
+        return CriticalState::ProgressValue;
+      case Row::ReportPage:
+      case Row::FileNumber:
+      case Row::TimerState:
+      case Row::LocationPage:
+        return CriticalState::TextViewText;
+      case Row::CheckBoxRow:
+        return CriticalState::CheckBoxNoId;
+      case Row::Unfixable:
+        return CriticalState::CustomVariable;
+      case Row::DeclaresCfg:
+        return CriticalState::None;
+      case Row::DefaultSafe:
+        return CriticalState::EditTextWithId;
+    }
+    return CriticalState::None;
+}
+
+const char *
+problemText(Row row)
+{
+    switch (row) {
+      case Row::TextBox: return "State loss (text box)";
+      case Row::LoginPage: return "State loss (login page)";
+      case Row::RegisterPage: return "State loss (register page)";
+      case Row::SelectionList: return "State loss (selection list)";
+      case Row::ProductList: return "State loss (product list)";
+      case Row::FaqList: return "State loss (FAQ list)";
+      case Row::ScrollLoc: return "State loss (scroll location)";
+      case Row::ZoomBar: return "State loss (zoom bar)";
+      case Row::VolumeBar: return "State loss (volume bar)";
+      case Row::ReportPage: return "State loss (report page)";
+      case Row::FileNumber: return "State loss (file number)";
+      case Row::TimerState: return "State loss (timer state)";
+      case Row::LocationPage: return "State loss (location page)";
+      case Row::CheckBoxRow: return "State loss (check box)";
+      case Row::Unfixable: return "State loss (app-private state)";
+      case Row::DeclaresCfg: return "No";
+      case Row::DefaultSafe: return "No";
+    }
+    return "No";
+}
+
+/**
+ * Heavyweight consumer app: large heaps (Fig. 14b averages near
+ * 162 MB stock), image-rich first screens, and heavier app logic.
+ */
+AppSpec
+heavyApp(const TableRow &row)
+{
+    AppSpec spec;
+    spec.name = row.name;
+    spec.downloads = row.downloads;
+    spec.issue_description = problemText(row.row);
+    spec.critical = criticalFor(row.row);
+    spec.expect_issue_stock =
+        row.row != Row::DeclaresCfg && row.row != Row::DefaultSafe;
+    spec.expect_fixed_by_rch =
+        spec.expect_issue_stock && row.row != Row::Unfixable;
+    spec.handles_config_changes = row.row == Row::DeclaresCfg;
+
+    const std::uint64_t h = nameHash(spec.name);
+    spec.n_text_views = 4 + static_cast<int>(h % 6);           // 4..9
+    spec.n_edit_texts = 1 + static_cast<int>((h >> 4) % 3);    // 1..3
+    spec.n_image_views = 8 + static_cast<int>((h >> 8) % 7);   // 8..14
+    spec.n_checkboxes = 1 + static_cast<int>((h >> 12) % 3);
+    spec.n_progress_bars =
+        spec.critical == CriticalState::ProgressValue
+            ? 1
+            : static_cast<int>((h >> 16) % 2);
+    spec.n_list_views = 1 + static_cast<int>((h >> 18) % 2);
+    spec.list_items = 12 + static_cast<int>((h >> 20) % 24);
+    spec.n_video_views = (h >> 26) % 5 == 0 ? 1 : 0;
+    spec.image_edge_px = 320 + static_cast<int>((h >> 28) % 7) * 32; // ..512
+    spec.base_heap_bytes = (122ull + (h >> 32) % 60) << 20;   // 122..181 MB
+    spec.private_heap_bytes = (2ull + (h >> 38) % 4) << 20;   // 2..5 MB
+    spec.app_create_cost =
+        milliseconds(185 + static_cast<int>((h >> 42) % 111)); // 185..295 ms
+    spec.app_config_cost =
+        milliseconds(100 + static_cast<int>((h >> 48) % 61));  // 100..160 ms
+    return spec;
+}
+
+} // namespace
+
+std::vector<AppSpec>
+top100()
+{
+    using R = Row;
+    // Table 5, in row order. 63 issue apps (59 fixable + the 4
+    // app-private-state cases #2/#57/#66/#70), 26 apps that declare
+    // android:configChanges, 11 issue-free default-handling apps.
+    static const TableRow kRows[] = {
+        {"AmazonPrimeVideo", "100M+", R::TextBox},       // 1
+        {"Filto", "5M+", R::Unfixable},                  // 2
+        {"TikTok", "1B+", R::TextBox},                   // 3
+        {"Instagram", "1B+", R::DeclaresCfg},            // 4
+        {"WhatsApp", "5B+", R::DeclaresCfg},             // 5
+        {"CashApp", "50M+", R::DeclaresCfg},             // 6
+        {"DeepCleaner", "10M+", R::DeclaresCfg},         // 7
+        {"ZOOM", "500M+", R::DeclaresCfg},               // 8
+        {"Disney+", "100M+", R::ScrollLoc},              // 9
+        {"Snapchat", "1B+", R::LoginPage},               // 10
+        {"AmazonShopping", "500M+", R::DeclaresCfg},     // 11
+        {"Telegram", "1B+", R::TextBox},                 // 12
+        {"TorBrowser", "10M+", R::DeclaresCfg},          // 13
+        {"MaxCleaner", "5M+", R::DeclaresCfg},           // 14
+        {"Messenger", "5B+", R::DeclaresCfg},            // 15
+        {"PeacockTV", "10M+", R::DeclaresCfg},           // 16
+        {"WalmartShopping", "50M+", R::ScrollLoc},       // 17
+        {"McDonald's", "10M+", R::DeclaresCfg},          // 18
+        {"Facebook", "5B+", R::SelectionList},           // 19
+        {"NewsBreak", "50M+", R::TextBox},               // 20
+        {"CapCut", "100M+", R::DeclaresCfg},             // 21
+        {"QR&BarcodeScanner", "100M+", R::ZoomBar},      // 22
+        {"MicrosoftTeams", "100M+", R::TextBox},         // 23
+        {"Indeed", "100M+", R::DeclaresCfg},             // 24
+        {"Tubi", "100M+", R::DeclaresCfg},               // 25
+        {"SHEIN", "100M+", R::SelectionList},            // 26
+        {"TextNow", "50M+", R::LoginPage},               // 27
+        {"Twitter", "1B+", R::TextBox},                  // 28
+        {"Wonder", "1M+", R::DeclaresCfg},               // 29
+        {"Netflix", "1B+", R::FaqList},                  // 30
+        {"AllDocumentReader", "50M+", R::SelectionList}, // 31
+        {"Roku", "50M+", R::DeclaresCfg},                // 32
+        {"PlutoTV", "100M+", R::DeclaresCfg},            // 33
+        {"DoorDash", "10M+", R::SelectionList},          // 34
+        {"Uber", "500M+", R::DeclaresCfg},               // 35
+        {"Discord", "100M+", R::RegisterPage},           // 36
+        {"Audible", "100M+", R::TextBox},                // 37
+        {"Ticketmaster", "10M+", R::SelectionList},      // 38
+        {"Life360", "100M+", R::DeclaresCfg},            // 39
+        {"Hulu", "50M+", R::TextBox},                    // 40
+        {"Orbot", "10M+", R::SelectionList},             // 41
+        {"MovetoiOS", "100M+", R::ScrollLoc},            // 42
+        {"DailyDiary", "10M+", R::TextBox},              // 43
+        {"Yoshion", "1M+", R::SelectionList},            // 44
+        {"MSAuthenticator", "50M+", R::TextBox},         // 45
+        {"PowerCleaner", "10M+", R::ReportPage},         // 46
+        {"SamsungSmartSwitch", "100M+", R::DeclaresCfg}, // 47
+        {"Alibaba.com", "100M+", R::SelectionList},      // 48
+        {"Reddit", "100M+", R::DeclaresCfg},             // 49
+        {"Paramount+", "10M+", R::DeclaresCfg},          // 50
+        {"Lyft", "50M+", R::DeclaresCfg},                // 51
+        {"Pinterest", "500M+", R::TextBox},              // 52
+        {"OfferUp", "50M+", R::DeclaresCfg},             // 53
+        {"BeReal", "5M+", R::TextBox},                   // 54
+        {"UberEats", "100M+", R::TextBox},               // 55
+        {"FetchRewards", "10M+", R::ScrollLoc},          // 56
+        {"HaircutPrank", "1M+", R::Unfixable},           // 57
+        {"MyBath&BodyWorks", "1M+", R::ScrollLoc},       // 58
+        {"Wholee", "5M+", R::SelectionList},             // 59
+        {"UltraCleaner", "1M+", R::FileNumber},          // 60
+        {"eBay", "100M+", R::DeclaresCfg},               // 61
+        {"FacebookLite", "1B+", R::TextBox},             // 62
+        {"Adidas", "10M+", R::ProductList},              // 63
+        {"Duolingo", "100M+", R::DeclaresCfg},           // 64
+        {"BravoCleaner", "10M+", R::SelectionList},      // 65
+        {"CastForChrome", "10M+", R::Unfixable},         // 66
+        {"Waze", "100M+", R::DefaultSafe},               // 67
+        {"UltraSurf", "10M+", R::SelectionList},         // 68
+        {"PetDiary", "500K+", R::ScrollLoc},             // 69
+        {"KingJamesBible", "50M+", R::Unfixable},        // 70
+        {"EmailHome", "5M+", R::DefaultSafe},            // 71
+        {"CapitalOne", "10M+", R::DefaultSafe},          // 72
+        {"Plex", "10M+", R::DefaultSafe},                // 73
+        {"DoordashDasher", "10M+", R::TextBox},          // 74
+        {"Shop", "10M+", R::DefaultSafe},                // 75
+        {"Expedia", "10M+", R::TextBox},                 // 76
+        {"ESPN", "50M+", R::ScrollLoc},                  // 77
+        {"Pandora", "100M+", R::DefaultSafe},            // 78
+        {"Picsart", "500M+", R::ScrollLoc},              // 79
+        {"FileRecovery", "10M+", R::ReportPage},         // 80
+        {"Callapp", "100M+", R::SelectionList},          // 81
+        {"Tinder", "100M+", R::TextBox},                 // 82
+        {"Etsy", "10M+", R::TextBox},                    // 83
+        {"SiriusXM", "10M+", R::DefaultSafe},            // 84
+        {"AliExpress", "500M+", R::ScrollLoc},           // 85
+        {"NFL", "100M+", R::DefaultSafe},                // 86
+        {"Adobe", "500M+", R::LoginPage},                // 87
+        {"KJVBible", "100K+", R::TimerState},            // 88
+        {"HomeDepot", "10M+", R::SelectionList},         // 89
+        {"TacoBell", "10M+", R::LocationPage},           // 90
+        {"UberDriver", "100M+", R::LoginPage},           // 91
+        {"Booking.com", "500M+", R::TextBox},            // 92
+        {"CCFileManager", "5M+", R::SelectionList},      // 93
+        {"SpeedBooster", "5M+", R::ReportPage},          // 94
+        {"Firefox", "100M+", R::DefaultSafe},            // 95
+        {"Twitch", "100M+", R::DefaultSafe},             // 96
+        {"Target", "10M+", R::CheckBoxRow},              // 97
+        {"SmartBooster", "10M+", R::ReportPage},         // 98
+        {"Bumble", "10M+", R::SelectionList},            // 99
+        {"Wish", "500M+", R::DefaultSafe},               // 100
+    };
+
+    std::vector<AppSpec> apps;
+    apps.reserve(std::size(kRows));
+    for (const TableRow &row : kRows)
+        apps.push_back(heavyApp(row));
+
+    // Sanity-check the table's aggregate claims at build time.
+    int issues = 0, fixable = 0, declares = 0;
+    for (const auto &spec : apps) {
+        issues += spec.expect_issue_stock;
+        fixable += spec.expect_fixed_by_rch;
+        declares += spec.handles_config_changes;
+    }
+    RCH_ASSERT(issues == 63, "Table 5 issue count: ", issues);
+    RCH_ASSERT(fixable == 59, "Table 5 fixable count: ", fixable);
+    RCH_ASSERT(declares == 26, "Table 5 configChanges count: ", declares);
+    return apps;
+}
+
+} // namespace rchdroid::apps

@@ -1,0 +1,152 @@
+#include "apps/corpus.h"
+
+#include "apps/corpus_internal.h"
+
+namespace rchdroid::apps {
+
+namespace {
+
+using detail::nameHash;
+
+/**
+ * Fill the composition/cost parameters of a light (TP-37-class) app:
+ * small utility apps with modest view trees and heaps around the
+ * Fig. 8 stock average of 47.56 MB.
+ */
+AppSpec
+lightApp(std::string name, std::string downloads, std::string issue,
+         CriticalState critical)
+{
+    AppSpec spec;
+    spec.name = std::move(name);
+    spec.downloads = std::move(downloads);
+    spec.issue_description = std::move(issue);
+    spec.critical = critical;
+    spec.expect_issue_stock = true;
+    spec.expect_fixed_by_rch = critical != CriticalState::CustomVariable;
+
+    const std::uint64_t h = nameHash(spec.name);
+    spec.n_text_views = 2 + static_cast<int>(h % 4);         // 2..5
+    spec.n_edit_texts = 1 + static_cast<int>((h >> 4) % 2);  // 1..2
+    spec.n_image_views = 2 + static_cast<int>((h >> 8) % 4); // 2..5
+    spec.n_checkboxes = 1 + static_cast<int>((h >> 12) % 3); // 1..3
+    spec.n_progress_bars =
+        critical == CriticalState::ProgressValue ? 1 : static_cast<int>((h >> 16) % 2);
+    spec.n_list_views = 1;
+    spec.list_items = 6 + static_cast<int>((h >> 20) % 10);
+    spec.n_video_views = critical == CriticalState::VideoPosition ? 1 : 0;
+    spec.image_edge_px = 96 + static_cast<int>((h >> 24) % 5) * 16; // 96..160
+    spec.base_heap_bytes =
+        (36ull + (h >> 28) % 13) << 20;                      // 36..48 MB
+    spec.private_heap_bytes = (4ull + (h >> 32) % 4) << 20;  // 4..7 MB
+    spec.app_create_cost = milliseconds(4 + static_cast<int>((h >> 36) % 10));
+    spec.app_config_cost = milliseconds(16 + static_cast<int>((h >> 40) % 13));
+    return spec;
+}
+
+} // namespace
+
+std::vector<AppSpec>
+tp37()
+{
+    using CS = CriticalState;
+    std::vector<AppSpec> apps = {
+        lightApp("AlarmClockPlus", "5M+",
+                 "The alarm state is lost after restart", CS::CheckBoxNoId),
+        lightApp("AlarmKlock", "500K+",
+                 "The alarm time change is gone after restart",
+                 CS::TextViewText),
+        lightApp("AndroidToken", "5M+",
+                 "The selected token is lost after restart",
+                 CS::ListSelection),
+        lightApp("BlueNET", "500K+",
+                 "The server is unexpectedly turned off after restart",
+                 CS::CheckBoxNoId),
+        lightApp("BrightnessProfile", "5M+",
+                 "Brightness level is lost after restart", CS::ProgressValue),
+        lightApp("BTHFPowerSave", "500K+",
+                 "State changes are lost after restart", CS::CheckBoxNoId),
+        lightApp("CalenMob", "10K+",
+                 "The working date resets to current date after restart",
+                 CS::TextViewText),
+        lightApp("DateSlider", "10K+",
+                 "The chosen date is lost after restart", CS::ProgressValue),
+        lightApp("DiskDiggerPro", "100K+",
+                 "The percentage set by the user is lost after restart",
+                 CS::CustomVariable),
+        lightApp("Dock4Droid", "10K+",
+                 "The last-added app is missing after restart",
+                 CS::CustomVariable),
+        lightApp("DrWebAntiVirus", "100M+",
+                 "The check box setting is lost after restart",
+                 CS::CheckBoxNoId),
+        lightApp("Droidstack", "100K+",
+                 "The title is not preserved after restart", CS::TextViewText),
+        lightApp("FoxFi", "10M+",
+                 "The entered email is lost after restart", CS::EditTextNoId),
+        lightApp("MOBILedit", "1K+",
+                 "The WiFi settings are not retained after restart",
+                 CS::CheckBoxNoId),
+        lightApp("OIFileManager", "5M+",
+                 "The last-opened path is lost after restart",
+                 CS::TextViewText),
+        lightApp("OpenSudoku", "1M+",
+                 "User-filled numbers are lost after restart",
+                 CS::TextViewText),
+        lightApp("OpenWordSearch", "1M+",
+                 "The word filled by user is lost after restarts",
+                 CS::TextViewText),
+        lightApp("WorkRecorder", "5K+",
+                 "The workout start time is lost after restart",
+                 CS::TextViewText),
+        lightApp("PowerToggles", "10K+",
+                 "The notification widgets are lost after restart",
+                 CS::CheckBoxNoId),
+        lightApp("PhoneCopier", "10K+",
+                 "The email address is lost after restart", CS::EditTextNoId),
+        lightApp("ScrambledNet", "10K+",
+                 "The game state is lost after a restart", CS::TextViewText),
+        lightApp("ScrollableNews", "1K+",
+                 "The color selection is lost after restart",
+                 CS::ListSelection),
+        lightApp("ServDroidWeb", "1K+",
+                 "The new status is gone after restarts", CS::TextViewText),
+        lightApp("SouveyMusicPro", "1K+",
+                 "The settings of Metronome are lost after restart",
+                 CS::ProgressValue),
+        lightApp("SSHTunnel", "100K+",
+                 "SSH connection profile is lost upon restart",
+                 CS::ListSelection),
+        lightApp("VPNConnection", "1K+",
+                 "The IPSec ID is lost upon restart", CS::EditTextNoId),
+        lightApp("ZircoBrowser", "1K+",
+                 "Bookmark is lost after restart", CS::ListSelection),
+    };
+    return apps;
+}
+
+std::vector<AppSpec>
+runtimeDroidEvalApps()
+{
+    using CS = CriticalState;
+    // The Table 4 eval set. AlarmKlock overlaps TP-37; the others are
+    // comparable small open-source apps.
+    return {
+        lightApp("Mdapp", "100K+", "Clinical reference state loss",
+                 CS::ListSelection),
+        lightApp("Remindly", "50K+", "Reminder draft loss",
+                 CS::EditTextNoId),
+        lightApp("AlarmKlock", "500K+", "Alarm time change loss",
+                 CS::TextViewText),
+        lightApp("Weather", "100K+", "Forecast scroll loss",
+                 CS::ScrollOffsetNoId),
+        lightApp("PDFCreator", "100K+", "Document setting loss",
+                 CS::CheckBoxNoId),
+        lightApp("Sieben", "100K+", "Workout timer loss", CS::TextViewText),
+        lightApp("AndroPTPB", "10K+", "Paste draft loss", CS::EditTextNoId),
+        lightApp("VlilleChecker", "10K+", "Station selection loss",
+                 CS::ListSelection),
+    };
+}
+
+} // namespace rchdroid::apps

@@ -1,0 +1,230 @@
+#include "apps/user_driver.h"
+
+#include <algorithm>
+
+#include "platform/strings.h"
+#include "view/list_view.h"
+#include "view/progress_bar.h"
+#include "view/text_view.h"
+#include "view/video_view.h"
+#include "view/view_group.h"
+
+namespace rchdroid::apps {
+
+namespace {
+
+/** First view of type T in the window, or null. */
+template <typename T>
+T *
+firstOfType(SimulatedApp &app)
+{
+    T *found = nullptr;
+    app.window().decorView().visit([&found](View &v) {
+        if (!found)
+            found = dynamic_cast<T *>(&v);
+    });
+    return found;
+}
+
+int
+clampedItem(const AbsListView &list, int wanted)
+{
+    if (list.itemCount() == 0)
+        return -1;
+    return std::min(wanted, static_cast<int>(list.itemCount()) - 1);
+}
+
+} // namespace
+
+std::string
+StateCheckResult::toString() const
+{
+    if (preserved)
+        return "preserved";
+    return "lost: " + joinStrings(losses, ", ");
+}
+
+void
+applyCanonicalState(SimulatedApp &app)
+{
+    app.window().decorView().visit([](View &v) {
+        if (auto *edit = dynamic_cast<EditText *>(&v)) {
+            edit->setText("");
+            edit->setCursorPosition(0);
+            edit->typeText(CanonicalValues::kTypedText);
+        } else if (auto *box = dynamic_cast<CheckBox *>(&v)) {
+            box->setChecked(true);
+        } else if (dynamic_cast<Button *>(&v)) {
+            // Buttons keep their label; clicking is a separate action.
+        } else if (auto *text = dynamic_cast<TextView *>(&v)) {
+            if (startsWith(text->id(), "text_"))
+                text->setText(CanonicalValues::kLabelText);
+        } else if (auto *bar = dynamic_cast<ProgressBar *>(&v)) {
+            bar->setProgress(CanonicalValues::kProgress);
+        } else if (auto *list = dynamic_cast<AbsListView *>(&v)) {
+            const int item = clampedItem(*list, CanonicalValues::kCheckedItem);
+            if (item >= 0) {
+                list->setItemChecked(item);
+                list->setSelectorPosition(item);
+            }
+        } else if (auto *scroll = dynamic_cast<ScrollView *>(&v)) {
+            scroll->scrollTo(CanonicalValues::kScrollY);
+        } else if (auto *video = dynamic_cast<VideoView *>(&v)) {
+            video->seekTo(CanonicalValues::kVideoPositionMs);
+        }
+    });
+    app.setCustomValue(CanonicalValues::kCustomValue);
+}
+
+namespace {
+
+void
+checkEditText(SimulatedApp &app, StateCheckResult &result)
+{
+    if (auto *edit = firstOfType<EditText>(app)) {
+        if (edit->text() != CanonicalValues::kTypedText)
+            result.losses.push_back("text box content ('" + edit->text() +
+                                    "')");
+    }
+}
+
+void
+checkTextView(SimulatedApp &app, StateCheckResult &result)
+{
+    TextView *target = nullptr;
+    app.window().decorView().visit([&target](View &v) {
+        if (target)
+            return;
+        if (auto *text = dynamic_cast<TextView *>(&v)) {
+            if (startsWith(text->id(), "text_"))
+                target = text;
+        }
+    });
+    if (target && target->text() != CanonicalValues::kLabelText)
+        result.losses.push_back("label/timer text ('" + target->text() + "')");
+}
+
+void
+checkList(SimulatedApp &app, StateCheckResult &result)
+{
+    if (auto *list = firstOfType<AbsListView>(app)) {
+        const int expected = clampedItem(*list, CanonicalValues::kCheckedItem);
+        if (list->checkedItem() != expected)
+            result.losses.push_back("list selection");
+    }
+}
+
+void
+checkScroll(SimulatedApp &app, StateCheckResult &result)
+{
+    if (auto *scroll = firstOfType<ScrollView>(app)) {
+        if (scroll->scrollY() != CanonicalValues::kScrollY)
+            result.losses.push_back("scroll location");
+    }
+}
+
+void
+checkProgress(SimulatedApp &app, StateCheckResult &result)
+{
+    if (auto *bar = firstOfType<ProgressBar>(app)) {
+        if (bar->progress() != CanonicalValues::kProgress)
+            result.losses.push_back("progress value");
+    }
+}
+
+void
+checkCheckBox(SimulatedApp &app, StateCheckResult &result)
+{
+    if (auto *box = firstOfType<CheckBox>(app)) {
+        if (!box->isChecked())
+            result.losses.push_back("check box setting");
+    }
+}
+
+void
+checkVideo(SimulatedApp &app, StateCheckResult &result)
+{
+    if (auto *video = firstOfType<VideoView>(app)) {
+        if (video->positionMs() != CanonicalValues::kVideoPositionMs)
+            result.losses.push_back("video position");
+    }
+}
+
+void
+checkCustom(SimulatedApp &app, StateCheckResult &result)
+{
+    if (app.customValue() != CanonicalValues::kCustomValue)
+        result.losses.push_back("app-private state");
+}
+
+} // namespace
+
+StateCheckResult
+verifyCriticalState(SimulatedApp &app)
+{
+    StateCheckResult result;
+    switch (app.spec().critical) {
+      case CriticalState::None:
+        break;
+      case CriticalState::EditTextWithId:
+      case CriticalState::EditTextNoId:
+        checkEditText(app, result);
+        break;
+      case CriticalState::TextViewText:
+        checkTextView(app, result);
+        break;
+      case CriticalState::ListSelection:
+        checkList(app, result);
+        break;
+      case CriticalState::ScrollOffsetNoId:
+        checkScroll(app, result);
+        break;
+      case CriticalState::ProgressValue:
+        checkProgress(app, result);
+        break;
+      case CriticalState::CheckBoxNoId:
+        checkCheckBox(app, result);
+        break;
+      case CriticalState::VideoPosition:
+        checkVideo(app, result);
+        break;
+      case CriticalState::CustomVariable:
+        checkCustom(app, result);
+        break;
+    }
+    result.preserved = result.losses.empty();
+    return result;
+}
+
+StateCheckResult
+verifyAllState(SimulatedApp &app)
+{
+    StateCheckResult result;
+    checkEditText(app, result);
+    checkTextView(app, result);
+    checkList(app, result);
+    checkScroll(app, result);
+    checkProgress(app, result);
+    checkCheckBox(app, result);
+    checkVideo(app, result);
+    checkCustom(app, result);
+    result.preserved = result.losses.empty();
+    return result;
+}
+
+bool
+imagesUpdatedByAsync(SimulatedApp &app)
+{
+    bool all_updated = true;
+    bool any_image = false;
+    app.window().decorView().visit([&](View &v) {
+        if (auto *image = dynamic_cast<ImageView *>(&v)) {
+            any_image = true;
+            if (!startsWith(image->assetName(), "async_loaded_"))
+                all_updated = false;
+        }
+    });
+    return any_image && all_updated;
+}
+
+} // namespace rchdroid::apps

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * user_driver: the scripted user of the effectiveness experiments.
+ *
+ * Mirrors the paper's §6 methodology: "for each app, when it is running
+ * in a state, we change screen sizes and observe if the state can be
+ * correctly restored". applyCanonicalState puts the app "in a state"
+ * (types text, checks boxes, selects list items, scrolls, drags bars);
+ * verifyCriticalState observes whether the state the app's table row
+ * cares about survived.
+ */
+#ifndef RCHDROID_APPS_USER_DRIVER_H
+#define RCHDROID_APPS_USER_DRIVER_H
+
+#include <string>
+#include <vector>
+
+#include "apps/simulated_app.h"
+
+namespace rchdroid::apps {
+
+/** Canonical values the driver writes (exposed for tests). */
+struct CanonicalValues
+{
+    static constexpr const char *kTypedText = "alpha42";
+    static constexpr const char *kLabelText = "stateful-7";
+    static constexpr int kProgress = 42;
+    static constexpr int kCheckedItem = 3;
+    static constexpr int kScrollY = 420;
+    static constexpr std::int64_t kVideoPositionMs = 90'000;
+    static constexpr int kCustomValue = 1234;
+};
+
+/** Outcome of a state observation. */
+struct StateCheckResult
+{
+    bool preserved = true;
+    /** Human-readable description of each lost piece of state. */
+    std::vector<std::string> losses;
+
+    /** "preserved" or "lost: <...>, <...>". */
+    std::string toString() const;
+};
+
+/** Put the app into the canonical user state (all widgets). */
+void applyCanonicalState(SimulatedApp &app);
+
+/**
+ * Check only the state the spec's CriticalState names — the observation
+ * that decides the app's Table 3 / Table 5 row.
+ */
+StateCheckResult verifyCriticalState(SimulatedApp &app);
+
+/** Check every widget the driver touched (stricter; used by tests). */
+StateCheckResult verifyAllState(SimulatedApp &app);
+
+/** True when every ImageView shows the async-loaded drawable. */
+bool imagesUpdatedByAsync(SimulatedApp &app);
+
+} // namespace rchdroid::apps
+
+#endif // RCHDROID_APPS_USER_DRIVER_H

@@ -1,0 +1,43 @@
+#include "baseline/runtimedroid.h"
+
+namespace rchdroid {
+
+RuntimeDroidModel::RuntimeDroidModel()
+{
+    // LoC columns are Table 4 verbatim. The latency fractions and patch
+    // times are modelled within the ranges §5.7 reports: RuntimeDroid's
+    // dynamic app-level migration beats both systems on latency
+    // (Fig. 12), and patch time spans 12,867–161,598 ms, roughly
+    // proportional to app size.
+    apps_ = {
+        {"Mdapp",        26'342, 28'419, 2077, 0.42, 161'598},
+        {"Remindly",      6'966,  7'820,  854, 0.47,  41'210},
+        {"AlarmKlock",    2'838,  3'610,  772, 0.51,  12'867},
+        {"Weather",      10'949, 12'208, 1259, 0.45,  63'904},
+        {"PDFCreator",   19'624, 20'895, 1271, 0.43, 118'372},
+        {"Sieben",       20'518, 22'123, 1605, 0.44, 124'951},
+        {"AndroPTPB",     3'405,  5'127, 1722, 0.49,  20'433},
+        {"VlilleChecker",12'083, 12'843,  760, 0.46,  70'516},
+    };
+}
+
+int
+RuntimeDroidModel::totalModificationLoc() const
+{
+    int total = 0;
+    for (const auto &app : apps_)
+        total += app.loc_modifications;
+    return total;
+}
+
+const RuntimeDroidAppData *
+RuntimeDroidModel::find(const std::string &app_name) const
+{
+    for (const auto &app : apps_) {
+        if (app.app_name == app_name)
+            return &app;
+    }
+    return nullptr;
+}
+
+} // namespace rchdroid

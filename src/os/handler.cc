@@ -1,0 +1,57 @@
+#include "os/handler.h"
+
+#include <utility>
+
+namespace rchdroid {
+
+Handler::Handler(Looper &looper, std::string name)
+    : looper_(looper), name_(std::move(name))
+{
+}
+
+void
+Handler::post(std::function<void()> fn, SimDuration cost, std::string tag)
+{
+    postDelayed(std::move(fn), 0, cost, std::move(tag));
+}
+
+void
+Handler::postDelayed(std::function<void()> fn, SimDuration delay,
+                     SimDuration cost, std::string tag)
+{
+    Message msg;
+    msg.callback = std::move(fn);
+    msg.when = looper_.now() + delay;
+    msg.cost = cost;
+    msg.token = this;
+    msg.tag = tag.empty() ? name_ : std::move(tag);
+    looper_.enqueue(std::move(msg));
+}
+
+void
+Handler::sendMessage(int what, std::function<void()> fn, SimDuration delay,
+                     SimDuration cost, std::string tag)
+{
+    Message msg;
+    msg.callback = std::move(fn);
+    msg.when = looper_.now() + delay;
+    msg.cost = cost;
+    msg.what = what;
+    msg.token = this;
+    msg.tag = tag.empty() ? name_ : std::move(tag);
+    looper_.enqueue(std::move(msg));
+}
+
+std::size_t
+Handler::removeMessages(int what)
+{
+    return looper_.removeByWhat(this, what);
+}
+
+std::size_t
+Handler::removeCallbacksAndMessages()
+{
+    return looper_.removeByToken(this);
+}
+
+} // namespace rchdroid

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Handler: the posting façade bound to one Looper, mirroring
+ * android.os.Handler.
+ *
+ * App code (AsyncTask result delivery, view update callbacks) and
+ * framework code both talk to loopers through handlers; the handler's
+ * identity doubles as the removal token, exactly like Android.
+ */
+#ifndef RCHDROID_OS_HANDLER_H
+#define RCHDROID_OS_HANDLER_H
+
+#include <functional>
+#include <string>
+
+#include "os/looper.h"
+
+namespace rchdroid {
+
+/**
+ * Posts work to a Looper and supports selective removal of its own
+ * pending messages.
+ */
+class Handler
+{
+  public:
+    /**
+     * @param looper Target looper (not owned; must outlive the handler).
+     * @param name Trace label prefix for posted messages.
+     */
+    Handler(Looper &looper, std::string name = {});
+
+    Looper &looper() { return looper_; }
+    const std::string &name() const { return name_; }
+
+    /** Post work to run as soon as the looper is free. */
+    void post(std::function<void()> fn, SimDuration cost = 0,
+              std::string tag = {});
+
+    /** Post work to run no earlier than `delay` from now. */
+    void postDelayed(std::function<void()> fn, SimDuration delay,
+                     SimDuration cost = 0, std::string tag = {});
+
+    /** Post a message with a `what` id for later selective removal. */
+    void sendMessage(int what, std::function<void()> fn,
+                     SimDuration delay = 0, SimDuration cost = 0,
+                     std::string tag = {});
+
+    /** Remove pending messages posted by this handler with `what`. */
+    std::size_t removeMessages(int what);
+
+    /** Remove all pending messages posted by this handler. */
+    std::size_t removeCallbacksAndMessages();
+
+  private:
+    Looper &looper_;
+    std::string name_;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_OS_HANDLER_H

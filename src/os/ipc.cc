@@ -1,0 +1,29 @@
+#include "os/ipc.h"
+
+#include <utility>
+
+namespace rchdroid {
+
+IpcChannel::IpcChannel(Looper &destination, IpcLatencyModel model,
+                       std::string name)
+    : destination_(destination), model_(model), name_(std::move(name))
+{
+}
+
+void
+IpcChannel::call(std::function<void()> fn, std::size_t payload_bytes,
+                 SimDuration handler_cost, std::string tag)
+{
+    ++transactions_;
+    Message msg;
+    msg.callback = std::move(fn);
+    // Transactions issued from inside a costly dispatch depart when the
+    // sender's logical work completes, not at dispatch start; senders
+    // model that by posting continuations — here we only add wire time.
+    msg.when = destination_.now() + model_.oneWay(payload_bytes);
+    msg.cost = handler_cost;
+    msg.tag = tag.empty() ? name_ : std::move(tag);
+    destination_.enqueue(std::move(msg));
+}
+
+} // namespace rchdroid

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * IpcChannel: a modelled binder transaction path between two simulated
+ * processes (the app's ActivityThread and the system_server's ATMS).
+ *
+ * The paper measures "the time between the configuration change arriving
+ * at the ATMS and the corresponding activity resumed"; every leg of that
+ * path crosses this channel, so its latency model (fixed cost plus a
+ * per-byte term for parcelled payloads) is part of the calibration in
+ * sim::DeviceModel.
+ */
+#ifndef RCHDROID_OS_IPC_H
+#define RCHDROID_OS_IPC_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "os/looper.h"
+#include "platform/time.h"
+
+namespace rchdroid {
+
+/** Latency parameters of a binder-like transport. */
+struct IpcLatencyModel
+{
+    /** Fixed one-way transaction cost (syscall + binder driver). */
+    SimDuration base_latency = 0;
+    /** Additional cost per KiB of parcelled payload. */
+    SimDuration per_kib = 0;
+
+    /** One-way latency for a payload of `bytes`. */
+    SimDuration
+    oneWay(std::size_t bytes) const
+    {
+        const auto kib = static_cast<SimDuration>((bytes + 1023) / 1024);
+        return base_latency + per_kib * kib;
+    }
+};
+
+/**
+ * A one-direction message path into a destination looper.
+ *
+ * Callers never block: the simulated binder is used oneway/async in the
+ * launch path (as on modern Android), with replies travelling on the
+ * opposite channel.
+ */
+class IpcChannel
+{
+  public:
+    /**
+     * @param destination Looper of the receiving process/thread.
+     * @param model Latency parameters.
+     * @param name Trace label, e.g. "app->atms".
+     */
+    IpcChannel(Looper &destination, IpcLatencyModel model, std::string name);
+
+    /**
+     * Deliver fn to the destination after the modelled latency.
+     * @param fn Work to run on the destination looper.
+     * @param payload_bytes Parcel size for the per-byte latency term.
+     * @param handler_cost CPU cost of handling the call at the receiver.
+     * @param tag Trace label of this transaction.
+     */
+    void call(std::function<void()> fn, std::size_t payload_bytes = 0,
+              SimDuration handler_cost = 0, std::string tag = {});
+
+    const std::string &name() const { return name_; }
+    std::uint64_t transactionCount() const { return transactions_; }
+    const IpcLatencyModel &model() const { return model_; }
+
+  private:
+    Looper &destination_;
+    IpcLatencyModel model_;
+    std::string name_;
+    std::uint64_t transactions_ = 0;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_OS_IPC_H

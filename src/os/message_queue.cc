@@ -1,0 +1,79 @@
+#include "os/message_queue.h"
+
+#include <algorithm>
+
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+void
+MessageQueue::enqueue(Message msg)
+{
+    RCH_ASSERT(msg.callback != nullptr, "message without callback: ", msg.tag);
+    const std::uint64_t seq = next_seq_++;
+    // Find the insertion point: strictly after every message with an
+    // earlier-or-equal `when` (FIFO among equals).
+    std::size_t pos = messages_.size();
+    while (pos > 0 && messages_[pos - 1].when > msg.when)
+        --pos;
+    messages_.insert(messages_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     std::move(msg));
+    seqs_.insert(seqs_.begin() + static_cast<std::ptrdiff_t>(pos), seq);
+}
+
+std::optional<SimTime>
+MessageQueue::nextWhen() const
+{
+    if (messages_.empty())
+        return std::nullopt;
+    return messages_.front().when;
+}
+
+std::optional<Message>
+MessageQueue::popDue(SimTime now_or_later)
+{
+    if (messages_.empty() || messages_.front().when > now_or_later)
+        return std::nullopt;
+    return popFront();
+}
+
+std::optional<Message>
+MessageQueue::popFront()
+{
+    if (messages_.empty())
+        return std::nullopt;
+    Message msg = std::move(messages_.front());
+    messages_.erase(messages_.begin());
+    seqs_.erase(seqs_.begin());
+    return msg;
+}
+
+std::size_t
+MessageQueue::removeByToken(const void *token)
+{
+    std::size_t removed = 0;
+    for (std::size_t i = messages_.size(); i-- > 0;) {
+        if (messages_[i].token == token) {
+            messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
+            seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+std::size_t
+MessageQueue::removeByWhat(const void *token, int what)
+{
+    std::size_t removed = 0;
+    for (std::size_t i = messages_.size(); i-- > 0;) {
+        if (messages_[i].token == token && messages_[i].what == what) {
+            messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
+            seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+} // namespace rchdroid

@@ -1,0 +1,111 @@
+#include "os/scheduler.h"
+
+#include <utility>
+
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+namespace {
+
+/** Hard cap so a buggy self-rescheduling event cannot hang a test run. */
+constexpr std::uint64_t kMaxEventsPerRun = 200'000'000;
+
+} // namespace
+
+EventId
+SimScheduler::schedule(SimDuration delay, std::function<void()> fn)
+{
+    RCH_ASSERT(delay >= 0, "negative delay ", delay);
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId
+SimScheduler::scheduleAt(SimTime when, std::function<void()> fn)
+{
+    RCH_ASSERT(when >= now_, "scheduleAt in the past: when=", when,
+               " now=", now_);
+    RCH_ASSERT(fn != nullptr, "null event function");
+    const EventId id = next_id_++;
+    queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+    return id;
+}
+
+bool
+SimScheduler::cancel(EventId id)
+{
+    if (id == kInvalidEventId)
+        return false;
+    // Lazy cancellation: mark a tombstone; runNext() skips it.
+    if (id >= next_id_)
+        return false;
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    return inserted;
+}
+
+bool
+SimScheduler::runNext()
+{
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        auto cancelled_it = cancelled_.find(ev.id);
+        if (cancelled_it != cancelled_.end()) {
+            cancelled_.erase(cancelled_it);
+            continue;
+        }
+        RCH_ASSERT(ev.when >= now_, "time went backwards");
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+SimScheduler::runUntil(SimTime limit)
+{
+    std::uint64_t guard = 0;
+    while (!queue_.empty() && queue_.top().when <= limit) {
+        if (!runNext())
+            break;
+        RCH_ASSERT(++guard < kMaxEventsPerRun, "event storm before ",
+                   formatSimTime(limit));
+    }
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+SimScheduler::runUntilIdle()
+{
+    std::uint64_t guard = 0;
+    while (runNext()) {
+        RCH_ASSERT(++guard < kMaxEventsPerRun, "runUntilIdle event storm");
+    }
+}
+
+bool
+SimScheduler::step()
+{
+    return runNext();
+}
+
+std::size_t
+SimScheduler::pendingEvents() const
+{
+    return queue_.size();
+}
+
+void
+SimScheduler::advanceTo(SimTime when)
+{
+    RCH_ASSERT(when >= now_, "advanceTo in the past");
+    RCH_ASSERT(queue_.empty() || queue_.top().when >= when,
+               "advanceTo would skip a pending event");
+    now_ = when;
+}
+
+} // namespace rchdroid

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The discrete-event core that stands in for real threads and clocks.
+ *
+ * Everything in the simulated Android stack — the app's UI thread, its
+ * async worker threads, the system_server, binder IPC latency — executes
+ * as events on one SimScheduler in virtual time. This makes the
+ * message-ordering phenomena the paper studies (an AsyncTask result
+ * arriving after the activity restarted) exactly reproducible.
+ */
+#ifndef RCHDROID_OS_SCHEDULER_H
+#define RCHDROID_OS_SCHEDULER_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "platform/time.h"
+
+namespace rchdroid {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel returned when scheduling fails (never by this implementation). */
+inline constexpr EventId kInvalidEventId = 0;
+
+/**
+ * A single-owner discrete-event scheduler over virtual time.
+ *
+ * Events at equal timestamps run in schedule order (FIFO), which is the
+ * property Android's MessageQueue relies on and the lazy-migration logic
+ * depends on for determinism.
+ */
+class SimScheduler
+{
+  public:
+    SimScheduler() = default;
+
+    SimScheduler(const SimScheduler &) = delete;
+    SimScheduler &operator=(const SimScheduler &) = delete;
+
+    /** Current virtual time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule fn to run after delay (>= 0) from now. */
+    EventId schedule(SimDuration delay, std::function<void()> fn);
+
+    /** Schedule fn at an absolute virtual time (>= now). */
+    EventId scheduleAt(SimTime when, std::function<void()> fn);
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event existed and had not yet run.
+     */
+    bool cancel(EventId id);
+
+    /** Run all events up to and including time limit. */
+    void runUntil(SimTime limit);
+
+    /** Run until no events remain (or the safety cap trips). */
+    void runUntilIdle();
+
+    /**
+     * Run exactly one event if any is pending.
+     * @return true if an event ran.
+     */
+    bool step();
+
+    /** Number of events waiting (including cancelled tombstones). */
+    std::size_t pendingEvents() const;
+
+    /** Total events executed since construction (for tests/telemetry). */
+    std::uint64_t executedEvents() const { return executed_; }
+
+    /**
+     * Advance the clock with no event execution side effects. Only legal
+     * when nothing is pending before the target time; used by harnesses
+     * to model idle gaps precisely.
+     */
+    void advanceTo(SimTime when);
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    bool runNext();
+
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 1;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_OS_SCHEDULER_H

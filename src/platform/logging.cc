@@ -1,0 +1,85 @@
+#include "platform/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rchdroid {
+
+namespace {
+
+LogLevel g_min_level = LogLevel::Warn;
+bool g_quiet = false;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "D";
+      case LogLevel::Info: return "I";
+      case LogLevel::Warn: return "W";
+      case LogLevel::Error: return "E";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+LogConfig::minLevel()
+{
+    return g_min_level;
+}
+
+void
+LogConfig::setMinLevel(LogLevel level)
+{
+    g_min_level = level;
+}
+
+bool
+LogConfig::quiet()
+{
+    return g_quiet;
+}
+
+void
+LogConfig::setQuiet(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+ScopedLogSilencer::ScopedLogSilencer() : previous_(g_quiet)
+{
+    g_quiet = true;
+}
+
+ScopedLogSilencer::~ScopedLogSilencer()
+{
+    g_quiet = previous_;
+}
+
+void
+logMessage(LogLevel level, const std::string &tag, const std::string &text)
+{
+    if (g_quiet || level < g_min_level)
+        return;
+    std::fprintf(stderr, "%s/%s: %s\n", levelTag(level), tag.c_str(),
+                 text.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &text)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", text.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &text)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", text.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace rchdroid

@@ -1,0 +1,92 @@
+#include "platform/rng.h"
+
+#include <cmath>
+
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+namespace {
+
+/** SplitMix64 used for seeding, per the xoshiro reference implementation. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t
+Rng::nextInt(std::int64_t lo, std::int64_t hi)
+{
+    RCH_ASSERT(lo <= hi, "nextInt range [", lo, ", ", hi, "]");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    // Box-Muller; one draw per call keeps the stream position predictable.
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace rchdroid

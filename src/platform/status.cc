@@ -1,0 +1,32 @@
+#include "platform/status.h"
+
+namespace rchdroid {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::NotFound: return "NotFound";
+      case StatusCode::InvalidArgument: return "InvalidArgument";
+      case StatusCode::FailedPrecondition: return "FailedPrecondition";
+      case StatusCode::AlreadyExists: return "AlreadyExists";
+      case StatusCode::Internal: return "Internal";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "OK";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace rchdroid

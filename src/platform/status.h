@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight Status / Result error propagation.
+ *
+ * The framework layers report recoverable errors (e.g. a resource id that
+ * does not resolve under the active configuration) through Status rather
+ * than exceptions; simulated *app* crashes are modelled explicitly by the
+ * app layer (see app/exceptions.h), not by C++ exceptions.
+ */
+#ifndef RCHDROID_PLATFORM_STATUS_H
+#define RCHDROID_PLATFORM_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rchdroid {
+
+/** Machine-readable error category. */
+enum class StatusCode {
+    Ok,
+    NotFound,
+    InvalidArgument,
+    FailedPrecondition,
+    AlreadyExists,
+    Internal,
+};
+
+/** Human-readable name for a StatusCode. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * An error code plus message; cheap to copy, truthy when OK.
+ */
+class Status
+{
+  public:
+    /** Default status is success. */
+    Status() : code_(StatusCode::Ok) {}
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    static Status ok() { return Status(); }
+    static Status notFound(std::string m)
+    { return Status(StatusCode::NotFound, std::move(m)); }
+    static Status invalidArgument(std::string m)
+    { return Status(StatusCode::InvalidArgument, std::move(m)); }
+    static Status failedPrecondition(std::string m)
+    { return Status(StatusCode::FailedPrecondition, std::move(m)); }
+    static Status alreadyExists(std::string m)
+    { return Status(StatusCode::AlreadyExists, std::move(m)); }
+    static Status internal(std::string m)
+    { return Status(StatusCode::Internal, std::move(m)); }
+
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK" or "NotFound: some message". */
+    std::string toString() const;
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+/**
+ * A value or a Status error.
+ *
+ * @tparam T The success payload.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Implicit from a value: success. */
+    Result(T value) : value_(std::move(value)) {}
+    /** Implicit from a non-OK status: failure. */
+    Result(Status status) : status_(std::move(status)) {}
+
+    bool isOk() const { return value_.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    /** Error status; Ok when the result holds a value. */
+    const Status &status() const { return status_; }
+
+    /** Access the payload; must only be called when isOk(). */
+    const T &value() const & { return *value_; }
+    T &value() & { return *value_; }
+    T &&value() && { return std::move(*value_); }
+
+    /** Payload if present, otherwise the fallback. */
+    T valueOr(T fallback) const { return value_ ? *value_ : fallback; }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_PLATFORM_STATUS_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Telemetry: a minimal event bus the framework layers report into and the
+ * experiment harness records from.
+ *
+ * The paper's headline metric — "the time between the configuration
+ * change arriving at the ATMS and the corresponding activity resumed" —
+ * is computed by the sim layer from events emitted here by the ATMS and
+ * the ActivityThread.
+ */
+#ifndef RCHDROID_PLATFORM_TELEMETRY_H
+#define RCHDROID_PLATFORM_TELEMETRY_H
+
+#include <string>
+
+#include "platform/time.h"
+
+namespace rchdroid {
+
+/** One timestamped occurrence. */
+struct TelemetryEvent
+{
+    SimTime time = 0;
+    /** Dotted kind, e.g. "atms.configChange", "app.resumed", "app.crash". */
+    std::string kind;
+    /** Free-form detail, e.g. the component name or exception kind. */
+    std::string detail;
+    /** Optional numeric payload (bytes, counts). */
+    double value = 0.0;
+};
+
+/**
+ * Receiver interface; the sim layer's TraceRecorder implements it.
+ */
+class TelemetrySink
+{
+  public:
+    virtual ~TelemetrySink() = default;
+
+    virtual void record(const TelemetryEvent &event) = 0;
+};
+
+/** A sink that drops everything (default when none installed). */
+class NullTelemetrySink final : public TelemetrySink
+{
+  public:
+    void record(const TelemetryEvent &event) override { (void)event; }
+
+    /** Shared instance. */
+    static NullTelemetrySink &instance();
+};
+
+inline NullTelemetrySink &
+NullTelemetrySink::instance()
+{
+    static NullTelemetrySink sink;
+    return sink;
+}
+
+} // namespace rchdroid
+
+#endif // RCHDROID_PLATFORM_TELEMETRY_H

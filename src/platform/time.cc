@@ -1,0 +1,17 @@
+#include "platform/time.h"
+
+#include <cstdio>
+
+namespace rchdroid {
+
+std::string
+formatSimTime(SimTime t)
+{
+    if (t == kSimTimeNever)
+        return "never";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(t) / 1e6);
+    return buf;
+}
+
+} // namespace rchdroid

@@ -1,0 +1,225 @@
+#include "rch/rch_client_handler.h"
+
+#include <algorithm>
+
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+RchClientHandler::RchClientHandler(RchConfig config)
+    : config_(config),
+      mapper_(config_.mapping_strategy),
+      migrator_(config_, stats_),
+      gc_policy_(config_)
+{
+}
+
+void
+RchClientHandler::attach(ActivityThread &thread)
+{
+    thread.setClientHandler(this);
+}
+
+void
+RchClientHandler::armGcTimer(ActivityThread &thread)
+{
+    // The doGcForShadowIfNeeded timer runs only while a shadow instance
+    // exists; it disarms itself once there is nothing to collect, so an
+    // idle process schedules no work.
+    if (gc_timer_armed_)
+        return;
+    gc_timer_armed_ = true;
+    auto tick = std::make_shared<std::function<void()>>();
+    ActivityThread *thread_ptr = &thread;
+    *tick = [this, thread_ptr, tick] {
+        if (thread_ptr->crashed() || !thread_ptr->shadowActivity()) {
+            gc_timer_armed_ = false;
+            return;
+        }
+        doGcForShadowIfNeeded(*thread_ptr);
+        if (!thread_ptr->shadowActivity()) {
+            gc_timer_armed_ = false;
+            return;
+        }
+        thread_ptr->uiLooper().post(*tick, config_.gc_interval,
+                                    thread_ptr->costs().gc_check, "gcTick");
+    };
+    thread.uiLooper().post(*tick, config_.gc_interval,
+                           thread.costs().gc_check, "gcTick");
+}
+
+void
+RchClientHandler::onConfigurationChanged(ActivityThread &thread,
+                                         ActivityToken token,
+                                         const Configuration &config)
+{
+    auto activity = thread.activityForToken(token);
+    if (!activity)
+        return;
+    if (!isForeground(activity->lifecycleState())) {
+        // A second change arrived while the previous one is still in
+        // flight; the pending sunny launch already carries the newest
+        // configuration from the ATMS, so this delivery is stale.
+        return;
+    }
+    ++stats_.runtime_changes;
+
+    // Detach any stale listener before the snapshot; the instance keeps
+    // serving async callbacks in the shadow state, where the migrator
+    // (re-installed below) catches the invalidations.
+    activity->setInvalidationListener(nullptr);
+
+    // Step 1 (Fig. 3): snapshot state and enter the shadow state.
+    thread.runAppCode([&] { activity->enterShadowState(); });
+    gc_policy_.noteShadowEntered(thread.scheduler().now());
+    activity->setInvalidationListener(&migrator_);
+    armGcTimer(thread);
+
+    // Step 2: request the sunny-state start. The request departs when
+    // the snapshot work completes; posting the IPC as a continuation on
+    // the UI looper models that ordering.
+    Intent intent;
+    intent.component = activity->component();
+    intent.source_process = thread.processName();
+    intent.flags = kFlagSunny;
+    ActivityManager *am = thread.activityManager();
+    if (am) {
+        thread.uiLooper().post([am, intent] { am->startActivity(intent); },
+                               0, 0, "requestSunnyStart");
+    }
+    (void)config;
+}
+
+void
+RchClientHandler::onSunnyLaunch(ActivityThread &thread,
+                                const LaunchArgs &args)
+{
+    if (args.flipped)
+        performFlip(thread, args);
+    else
+        performInitLaunch(thread, args);
+}
+
+void
+RchClientHandler::performInitLaunch(ActivityThread &thread,
+                                    const LaunchArgs &args)
+{
+    auto shadow = thread.activityForToken(args.shadowed_token);
+    if (!shadow || !shadow->isShadow())
+        shadow = thread.shadowActivity();
+
+    // Step 3 (Fig. 3): create the sunny instance from the shadow
+    // snapshot, then build the essence-based mapping.
+    const Bundle *saved =
+        (shadow && shadow->hasShadowSnapshot()) ? &shadow->shadowSnapshot()
+                                                : nullptr;
+    auto sunny = thread.performLaunchActivity(args, saved, /*as_sunny=*/true);
+    ++stats_.init_launches;
+
+    if (shadow) {
+        const MappingResult mapping = mapper_.buildMapping(*sunny, *shadow);
+        stats_.views_mapped += static_cast<std::uint64_t>(mapping.wired);
+        stats_.views_unmatched +=
+            static_cast<std::uint64_t>(std::max(mapping.unmatched, 0));
+        shadow->setInvalidationListener(&migrator_);
+    }
+    thread.notifyResumedAtCostEnd(args.token);
+}
+
+void
+RchClientHandler::performFlip(ActivityThread &thread, const LaunchArgs &args)
+{
+    auto incoming = thread.activityForToken(args.token);
+    auto outgoing = thread.activityForToken(args.shadowed_token);
+    RCH_ASSERT(incoming && incoming->isShadow(),
+               "flip target is not a shadow instance");
+    RCH_ASSERT(outgoing, "flip source instance missing");
+    ++stats_.flips;
+
+    Looper &ui = thread.uiLooper();
+    if (ui.isDispatching())
+        ui.consumeCpu(thread.costs().flip_fixed);
+
+    // The outgoing foreground normally entered the shadow state already
+    // when the configuration change was delivered (onConfigurationChanged
+    // snapshots and shadows before requesting the sunny start); cover
+    // the direct sunny-start path too.
+    outgoing->setInvalidationListener(nullptr);
+    if (isForeground(outgoing->lifecycleState())) {
+        thread.runAppCode([&] { outgoing->enterShadowState(); });
+        gc_policy_.noteShadowEntered(thread.scheduler().now());
+    }
+    RCH_ASSERT(outgoing->isShadow(), "flip source is not shadowed");
+    armGcTimer(thread);
+
+    // Sync the freshest state outgoing → incoming through the peer
+    // pointers wired at mapping time (no re-mapping needed: the links
+    // were stored in both directions).
+    incoming->setInvalidationListener(nullptr);
+    int synced = 0;
+    thread.runAppCode([&] {
+        outgoing->window().decorView().visit([&synced](View &v) {
+            if (View *peer = v.sunnyPeer(); peer && !peer->isDestroyed()) {
+                v.applyMigration(*peer);
+                ++synced;
+            }
+        });
+    });
+    if (ui.isDispatching())
+        ui.consumeCpu(thread.costs().flip_sync_per_view * synced);
+
+    // Bring the incoming instance to the foreground under the new
+    // configuration.
+    thread.runAppCode([&] {
+        incoming->enterSunnyStateFromShadow();
+        incoming->performConfigurationChanged(args.config);
+    });
+    outgoing->setInvalidationListener(&migrator_);
+    thread.notifyResumedAtCostEnd(args.token);
+}
+
+void
+RchClientHandler::onForegroundGone(ActivityThread &thread,
+                                   ActivityToken token)
+{
+    (void)token;
+    // Paper §3.5: "If the foreground activity instance is terminated or
+    // switched, the corresponding shadow-state activity will be released
+    // immediately."
+    if (auto shadow = thread.shadowActivity())
+        releaseShadow(thread, shadow);
+}
+
+bool
+RchClientHandler::doGcForShadowIfNeeded(ActivityThread &thread)
+{
+    auto shadow = thread.shadowActivity();
+    if (!shadow)
+        return false;
+    const SimTime now = thread.scheduler().now();
+    if (!gc_policy_.shouldCollect(now, shadow->shadowEnteredAt())) {
+        ++stats_.gc_keeps;
+        return false;
+    }
+    releaseShadow(thread, shadow);
+    ++stats_.gc_collections;
+    return true;
+}
+
+void
+RchClientHandler::releaseShadow(ActivityThread &thread,
+                                const std::shared_ptr<Activity> &shadow)
+{
+    const ActivityToken token = shadow->token();
+    shadow->setInvalidationListener(nullptr);
+    thread.runAppCode([&] { shadow->performDestroy(); });
+    thread.dropActivity(token);
+    if (auto foreground = thread.foregroundActivity()) {
+        if (foreground->isSunny())
+            foreground->degradeSunnyToResumed();
+    }
+    if (ActivityManager *am = thread.activityManager())
+        am->shadowActivityReclaimed(token);
+}
+
+} // namespace rchdroid

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RchClientHandler: the client-side orchestration of RCHDroid — the
+ * behaviour the paper patches into ActivityThread (Table 2:
+ * performActivityConfigurationChanged, performLaunchActivity,
+ * handleResumeActivity, doGcForShadowIfNeeded).
+ *
+ * On a configuration change it shadows the foreground instance and
+ * requests a sunny start; on the sunny launch it either creates the
+ * sunny instance and builds the essence mapping (RCHDroid-init) or flips
+ * the existing shadow instance back to the foreground (steady state).
+ * It also owns the lazy migrator and the shadow GC timer.
+ */
+#ifndef RCHDROID_RCH_RCH_CLIENT_HANDLER_H
+#define RCHDROID_RCH_RCH_CLIENT_HANDLER_H
+
+#include <memory>
+
+#include "app/activity_thread.h"
+#include "app/runtime_change_handler.h"
+#include "rch/lazy_migrator.h"
+#include "rch/rch_config.h"
+#include "rch/shadow_gc.h"
+#include "rch/view_tree_mapper.h"
+
+namespace rchdroid {
+
+/**
+ * The RCHDroid runtime-change strategy for one app process.
+ */
+class RchClientHandler final : public ClientRuntimeChangeHandler
+{
+  public:
+    explicit RchClientHandler(RchConfig config = {});
+
+    /**
+     * Install on a thread: becomes its client handler and arms the GC
+     * timer on the UI looper.
+     */
+    void attach(ActivityThread &thread);
+
+    /** @name ClientRuntimeChangeHandler
+     * @{
+     */
+    void onConfigurationChanged(ActivityThread &thread, ActivityToken token,
+                                const Configuration &config) override;
+    void onSunnyLaunch(ActivityThread &thread,
+                       const LaunchArgs &args) override;
+    void onForegroundGone(ActivityThread &thread,
+                          ActivityToken token) override;
+    /** @} */
+
+    /**
+     * doGcForShadowIfNeeded: run one GC check now (also invoked by the
+     * periodic timer). Returns true when a shadow instance was
+     * collected.
+     */
+    bool doGcForShadowIfNeeded(ActivityThread &thread);
+
+    const RchConfig &config() const { return config_; }
+    const RchStats &stats() const { return stats_; }
+    ShadowGcPolicy &gcPolicy() { return gc_policy_; }
+
+  private:
+    void performInitLaunch(ActivityThread &thread, const LaunchArgs &args);
+    void performFlip(ActivityThread &thread, const LaunchArgs &args);
+    void releaseShadow(ActivityThread &thread,
+                       const std::shared_ptr<Activity> &shadow);
+    void armGcTimer(ActivityThread &thread);
+
+    RchConfig config_;
+    RchStats stats_;
+    ViewTreeMapper mapper_;
+    LazyMigrator migrator_;
+    ShadowGcPolicy gc_policy_;
+    bool gc_timer_armed_ = false;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_RCH_RCH_CLIENT_HANDLER_H

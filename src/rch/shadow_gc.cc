@@ -1,0 +1,43 @@
+#include "rch/shadow_gc.h"
+
+namespace rchdroid {
+
+ShadowGcPolicy::ShadowGcPolicy(const RchConfig &config) : config_(config)
+{
+}
+
+void
+ShadowGcPolicy::noteShadowEntered(SimTime now)
+{
+    entries_.push_back(now);
+    expireOld(now);
+}
+
+void
+ShadowGcPolicy::expireOld(SimTime now)
+{
+    while (!entries_.empty() &&
+           entries_.front() < now - config_.frequency_window) {
+        entries_.pop_front();
+    }
+}
+
+int
+ShadowGcPolicy::shadowFrequency(SimTime now)
+{
+    expireOld(now);
+    return static_cast<int>(entries_.size());
+}
+
+bool
+ShadowGcPolicy::shouldCollect(SimTime now, SimTime shadow_entered_at)
+{
+    const SimDuration shadow_time = now - shadow_entered_at;
+    if (shadow_time <= config_.thresh_t)
+        return false;
+    if (shadowFrequency(now) >= config_.thresh_f)
+        return false;
+    return true;
+}
+
+} // namespace rchdroid

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ShadowGcPolicy: the threshold-based reclamation policy for the shadow
+ * activity instance (paper §3.5, Algorithm 1).
+ *
+ * A shadow instance is collected only when BOTH hold:
+ *   shadow_time      > THRESH_T  (it has been shadowed for a while), and
+ *   shadow_frequency < THRESH_F  (it is not being flipped back often),
+ * where shadow_frequency counts shadow-state entries in the trailing
+ * k-second window.
+ */
+#ifndef RCHDROID_RCH_SHADOW_GC_H
+#define RCHDROID_RCH_SHADOW_GC_H
+
+#include <deque>
+
+#include "platform/time.h"
+#include "rch/rch_config.h"
+
+namespace rchdroid {
+
+/**
+ * Pure decision logic; the handler owns the timer and the destruction.
+ */
+class ShadowGcPolicy
+{
+  public:
+    explicit ShadowGcPolicy(const RchConfig &config);
+
+    /** Record that an activity entered the shadow state at `now`. */
+    void noteShadowEntered(SimTime now);
+
+    /**
+     * Algorithm 1: should the current shadow instance be collected?
+     * @param now Current virtual time.
+     * @param shadow_entered_at When the instance entered the shadow
+     *        state.
+     */
+    bool shouldCollect(SimTime now, SimTime shadow_entered_at);
+
+    /** shadow_frequency: entries within the trailing window at `now`. */
+    int shadowFrequency(SimTime now);
+
+    /** Forget history (process restart). */
+    void reset() { entries_.clear(); }
+
+  private:
+    void expireOld(SimTime now);
+
+    const RchConfig &config_;
+    std::deque<SimTime> entries_;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_RCH_SHADOW_GC_H

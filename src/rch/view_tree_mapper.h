@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ViewTreeMapper: builds the essence-based mapping between the shadow
+ * tree and the sunny tree (paper §3.3, Fig. 5).
+ *
+ * "Although a button may have a different shape and display on a
+ * different position [after the change], they are still the same button
+ * and use the same view id" — so the mapping keys on view ids: a hash
+ * table of the sunny tree's ids is built first, then the shadow tree is
+ * traversed and each view stores a pointer to its sunny counterpart.
+ */
+#ifndef RCHDROID_RCH_VIEW_TREE_MAPPER_H
+#define RCHDROID_RCH_VIEW_TREE_MAPPER_H
+
+#include "app/activity.h"
+#include "rch/rch_config.h"
+
+namespace rchdroid {
+
+/** Outcome of one mapping build. */
+struct MappingResult
+{
+    /** Views in the sunny tree carrying an id. */
+    int sunny_ids = 0;
+    /** Shadow views successfully wired to a sunny peer. */
+    int wired = 0;
+    /** Shadow id-bearing views with no sunny counterpart. */
+    int unmatched = 0;
+};
+
+/**
+ * Stateless mapping builder; strategy selects hash-table (paper) or
+ * linear-scan (ablation).
+ */
+class ViewTreeMapper
+{
+  public:
+    explicit ViewTreeMapper(MappingStrategy strategy
+                            = MappingStrategy::HashTable)
+        : strategy_(strategy)
+    {
+    }
+
+    /**
+     * Wire every id-matched pair between the trees: shadow views point
+     * at sunny views and vice versa (the reverse links are what make a
+     * later coin-flip free of re-mapping).
+     */
+    MappingResult buildMapping(Activity &sunny, Activity &shadow) const;
+
+    MappingStrategy strategy() const { return strategy_; }
+
+  private:
+    MappingResult buildWithHashTable(Activity &sunny, Activity &shadow) const;
+    MappingResult buildWithLinearScan(Activity &sunny, Activity &shadow) const;
+
+    MappingStrategy strategy_;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_RCH_VIEW_TREE_MAPPER_H

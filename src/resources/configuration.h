@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Configuration: the device configuration whose runtime changes this
+ * whole system is about, mirroring android.content.res.Configuration.
+ *
+ * A *runtime change* is any mutation of this struct while an app is in
+ * the foreground — rotation, `wm size` resize, locale switch, keyboard
+ * attach (paper §1). The ATMS diffs old vs new configurations and
+ * dispatches the change to the foreground activity.
+ */
+#ifndef RCHDROID_RESOURCES_CONFIGURATION_H
+#define RCHDROID_RESOURCES_CONFIGURATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace rchdroid {
+
+/** Screen orientation. */
+enum class Orientation {
+    Portrait,
+    Landscape,
+};
+
+/** Hardware keyboard presence. */
+enum class KeyboardState {
+    None,
+    Attached,
+};
+
+/** Bitmask of configuration dimensions that differ between two configs. */
+enum ConfigChangeBits : std::uint32_t {
+    kConfigNone = 0,
+    kConfigOrientation = 1u << 0,
+    kConfigScreenSize = 1u << 1,
+    kConfigLocale = 1u << 2,
+    kConfigDensity = 1u << 3,
+    kConfigKeyboard = 1u << 4,
+    kConfigFontScale = 1u << 5,
+};
+
+/**
+ * A complete device configuration snapshot.
+ */
+struct Configuration
+{
+    Orientation orientation = Orientation::Portrait;
+    /** Physical screen size in pixels (as set by `wm size`). */
+    int screen_width_px = 1080;
+    int screen_height_px = 1920;
+    /** BCP-47-ish locale tag. */
+    std::string locale = "en-US";
+    int density_dpi = 320;
+    KeyboardState keyboard = KeyboardState::None;
+    double font_scale = 1.0;
+
+    /** Bits in ConfigChangeBits that differ from `other`. */
+    std::uint32_t diff(const Configuration &other) const;
+
+    bool operator==(const Configuration &other) const;
+    bool operator!=(const Configuration &other) const
+    { return !(*this == other); }
+
+    /** "land 1920x1080 en-US 320dpi" for traces. */
+    std::string toString() const;
+
+    /** The stock portrait configuration of the RK3399 eval board. */
+    static Configuration defaultPortrait();
+
+    /** The same device rotated to landscape (dimensions swapped). */
+    static Configuration defaultLandscape();
+
+    /** This config rotated (dimensions swapped, orientation flipped). */
+    Configuration rotated() const;
+
+    /** This config with a different locale. */
+    Configuration withLocale(std::string locale) const;
+
+    /** This config resized, deriving orientation from the aspect ratio. */
+    Configuration resized(int width_px, int height_px) const;
+};
+
+/** Human-readable list of set change bits, e.g. "orientation|screenSize". */
+std::string configChangeBitsToString(std::uint32_t bits);
+
+} // namespace rchdroid
+
+#endif // RCHDROID_RESOURCES_CONFIGURATION_H

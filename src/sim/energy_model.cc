@@ -1,0 +1,36 @@
+#include "sim/energy_model.h"
+
+#include <algorithm>
+
+#include "platform/logging.h"
+
+namespace rchdroid::sim {
+
+EnergyModel::EnergyModel(const PowerModel &power, int cores)
+    : power_(power), cores_(cores)
+{
+    RCH_ASSERT(cores_ > 0, "device needs at least one core");
+}
+
+double
+EnergyModel::powerAtUtilization(double utilization) const
+{
+    const double clamped = std::clamp(utilization, 0.0, 1.0);
+    return power_.idle_watts + power_.cpu_max_watts * clamped;
+}
+
+double
+EnergyModel::averagePowerWatts(const CpuTracker &tracker, SimTime from,
+                               SimTime to) const
+{
+    return powerAtUtilization(tracker.utilization(from, to, cores_));
+}
+
+double
+EnergyModel::energyJoules(const CpuTracker &tracker, SimTime from,
+                          SimTime to) const
+{
+    return averagePowerWatts(tracker, from, to) * toSecondsF(to - from);
+}
+
+} // namespace rchdroid::sim

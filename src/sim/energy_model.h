@@ -1,0 +1,50 @@
+/**
+ * @file
+ * EnergyModel: board power from CPU utilisation — the §5.6 power-meter
+ * stand-in. The paper's observation ("the energy consumption of RCHDroid
+ * remains unchanged and is 4.03 W ... the shadow-state activity is not
+ * shown in the foreground and remains in an inactive state") falls out
+ * of the model: an inactive instance adds no utilisation, so it adds no
+ * power.
+ */
+#ifndef RCHDROID_SIM_ENERGY_MODEL_H
+#define RCHDROID_SIM_ENERGY_MODEL_H
+
+#include "sim/cpu_tracker.h"
+#include "sim/device_model.h"
+
+namespace rchdroid::sim {
+
+/**
+ * Utilisation-linear power model.
+ */
+class EnergyModel
+{
+  public:
+    /**
+     * @param power Board power parameters.
+     * @param cores Cores of the device (RK3399: 6).
+     */
+    explicit EnergyModel(const PowerModel &power, int cores = 6);
+
+    /** Instantaneous power at a given utilisation fraction. */
+    double powerAtUtilization(double utilization) const;
+
+    /** Mean power over [from, to) given the tracker's busy record. */
+    double averagePowerWatts(const CpuTracker &tracker, SimTime from,
+                             SimTime to) const;
+
+    /** Energy over [from, to) in joules. */
+    double energyJoules(const CpuTracker &tracker, SimTime from,
+                        SimTime to) const;
+
+    int cores() const { return cores_; }
+
+  private:
+    PowerModel power_;
+    int cores_;
+};
+
+} // namespace rchdroid::sim
+
+#endif // RCHDROID_SIM_ENERGY_MODEL_H

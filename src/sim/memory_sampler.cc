@@ -1,0 +1,85 @@
+#include "sim/memory_sampler.h"
+
+#include <utility>
+
+#include "platform/logging.h"
+
+namespace rchdroid::sim {
+
+MemorySampler::MemorySampler(SimScheduler &scheduler,
+                             std::function<std::size_t()> probe,
+                             SimDuration interval)
+    : scheduler_(scheduler), probe_(std::move(probe)), interval_(interval)
+{
+    RCH_ASSERT(probe_ != nullptr, "sampler needs a probe");
+    RCH_ASSERT(interval_ > 0, "sampler needs a positive interval");
+}
+
+MemorySampler::~MemorySampler()
+{
+    stop();
+}
+
+void
+MemorySampler::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    tick();
+}
+
+void
+MemorySampler::stop()
+{
+    running_ = false;
+    if (pending_ != kInvalidEventId) {
+        scheduler_.cancel(pending_);
+        pending_ = kInvalidEventId;
+    }
+}
+
+void
+MemorySampler::tick()
+{
+    if (!running_)
+        return;
+    samples_.push_back(MemorySample{scheduler_.now(), probe_()});
+    pending_ = scheduler_.schedule(interval_, [this] { tick(); });
+}
+
+double
+MemorySampler::meanMb() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &sample : samples_)
+        total += sample.megabytes();
+    return total / static_cast<double>(samples_.size());
+}
+
+double
+MemorySampler::peakMb() const
+{
+    double peak = 0.0;
+    for (const auto &sample : samples_)
+        peak = std::max(peak, sample.megabytes());
+    return peak;
+}
+
+double
+MemorySampler::meanMbBetween(SimTime from, SimTime to) const
+{
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const auto &sample : samples_) {
+        if (sample.time >= from && sample.time < to) {
+            total += sample.megabytes();
+            ++count;
+        }
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+}
+
+} // namespace rchdroid::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MemorySampler: periodic heap sampling of a simulated process — the
+ * "Total PSS by process" polling the paper's artifact does with
+ * `dumpsys meminfo`, and the memory-over-time curves of Fig. 9.
+ */
+#ifndef RCHDROID_SIM_MEMORY_SAMPLER_H
+#define RCHDROID_SIM_MEMORY_SAMPLER_H
+
+#include <functional>
+#include <vector>
+
+#include "os/scheduler.h"
+
+namespace rchdroid::sim {
+
+/** One memory observation. */
+struct MemorySample
+{
+    SimTime time = 0;
+    std::size_t bytes = 0;
+
+    double megabytes() const
+    { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+};
+
+/**
+ * Self-rescheduling sampler on the shared scheduler.
+ */
+class MemorySampler
+{
+  public:
+    /**
+     * @param scheduler Event core the sampler runs on.
+     * @param probe Returns the process's current heap bytes.
+     * @param interval Sampling period.
+     */
+    MemorySampler(SimScheduler &scheduler, std::function<std::size_t()> probe,
+                  SimDuration interval);
+    ~MemorySampler();
+
+    MemorySampler(const MemorySampler &) = delete;
+    MemorySampler &operator=(const MemorySampler &) = delete;
+
+    /** Begin sampling (first sample immediately). */
+    void start();
+    /** Stop sampling; samples stay available. */
+    void stop();
+    bool running() const { return running_; }
+
+    const std::vector<MemorySample> &samples() const { return samples_; }
+    void clear() { samples_.clear(); }
+
+    /** Mean of all samples, MB; 0 when empty. */
+    double meanMb() const;
+    /** Largest sample, MB. */
+    double peakMb() const;
+    /** Mean over [from, to), MB. */
+    double meanMbBetween(SimTime from, SimTime to) const;
+
+  private:
+    void tick();
+
+    SimScheduler &scheduler_;
+    std::function<std::size_t()> probe_;
+    SimDuration interval_;
+    std::vector<MemorySample> samples_;
+    bool running_ = false;
+    EventId pending_ = kInvalidEventId;
+};
+
+} // namespace rchdroid::sim
+
+#endif // RCHDROID_SIM_MEMORY_SAMPLER_H

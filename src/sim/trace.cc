@@ -1,0 +1,105 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "platform/strings.h"
+
+namespace rchdroid::sim {
+
+void
+TraceRecorder::record(const TelemetryEvent &event)
+{
+    events_.push_back(event);
+}
+
+std::vector<TelemetryEvent>
+TraceRecorder::eventsOfKind(const std::string &kind) const
+{
+    std::vector<TelemetryEvent> out;
+    for (const auto &event : events_) {
+        if (event.kind == kind)
+            out.push_back(event);
+    }
+    return out;
+}
+
+std::size_t
+TraceRecorder::countOfKind(const std::string &kind) const
+{
+    std::size_t n = 0;
+    for (const auto &event : events_) {
+        if (event.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+std::optional<TelemetryEvent>
+TraceRecorder::lastOfKind(const std::string &kind) const
+{
+    for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+        if (it->kind == kind)
+            return *it;
+    }
+    return std::nullopt;
+}
+
+std::vector<HandlingEpisode>
+TraceRecorder::handlingEpisodes() const
+{
+    std::vector<HandlingEpisode> episodes;
+    for (const auto &event : events_) {
+        if (event.kind == "atms.configChange") {
+            episodes.push_back(HandlingEpisode{event.time, std::nullopt});
+        } else if (event.kind == "atms.activityResumed") {
+            if (!episodes.empty() && !episodes.back().end)
+                episodes.back().end = event.time;
+        }
+    }
+    return episodes;
+}
+
+std::string
+TraceRecorder::toCsv() const
+{
+    std::ostringstream os;
+    os << "time_ms,kind,detail,value\n";
+    for (const auto &event : events_) {
+        std::string detail = event.detail;
+        // Minimal CSV quoting: wrap and double embedded quotes.
+        std::string quoted = "\"";
+        for (char c : detail) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        os << formatDouble(toMillisF(event.time), 3) << ',' << event.kind
+           << ',' << quoted << ',' << formatDouble(event.value, 3) << '\n';
+    }
+    return os.str();
+}
+
+bool
+TraceRecorder::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toCsv();
+    return static_cast<bool>(out);
+}
+
+double
+TraceRecorder::lastHandlingMs() const
+{
+    const auto episodes = handlingEpisodes();
+    for (auto it = episodes.rbegin(); it != episodes.rend(); ++it) {
+        if (it->completed())
+            return it->durationMs();
+    }
+    return -1.0;
+}
+
+} // namespace rchdroid::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TraceRecorder: the TelemetrySink that collects every framework event
+ * of a run and derives the paper's metrics from them — most importantly
+ * the runtime-change handling time, "the time between the configuration
+ * change arriving at the ATMS and the corresponding activity resumed"
+ * (§5.1).
+ */
+#ifndef RCHDROID_SIM_TRACE_H
+#define RCHDROID_SIM_TRACE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/telemetry.h"
+
+namespace rchdroid::sim {
+
+/** One matched configuration-change handling episode. */
+struct HandlingEpisode
+{
+    /** atms.configChange arrival. */
+    SimTime start = 0;
+    /** The matching atms.activityResumed, if handling completed. */
+    std::optional<SimTime> end;
+
+    bool completed() const { return end.has_value(); }
+    double
+    durationMs() const
+    {
+        return end ? toMillisF(*end - start) : -1.0;
+    }
+};
+
+/**
+ * Event store + metric extraction.
+ */
+class TraceRecorder final : public TelemetrySink
+{
+  public:
+    void record(const TelemetryEvent &event) override;
+
+    const std::vector<TelemetryEvent> &events() const { return events_; }
+    void clear() { events_.clear(); }
+
+    /** Events whose kind matches exactly. */
+    std::vector<TelemetryEvent> eventsOfKind(const std::string &kind) const;
+    std::size_t countOfKind(const std::string &kind) const;
+    /** Last event of a kind, if any. */
+    std::optional<TelemetryEvent> lastOfKind(const std::string &kind) const;
+
+    /**
+     * Pair each atms.configChange with the first atms.activityResumed
+     * after it (and before the next change). Crashed handlings stay
+     * open (no end).
+     */
+    std::vector<HandlingEpisode> handlingEpisodes() const;
+
+    /** Duration of the most recent completed episode, ms; -1 if none. */
+    double lastHandlingMs() const;
+
+    /** True when an app.crash event was recorded. */
+    bool sawCrash() const { return countOfKind("app.crash") > 0; }
+
+    /**
+     * Serialise the event log as CSV (`time_ms,kind,detail,value`) for
+     * external plotting; detail fields are quoted.
+     */
+    std::string toCsv() const;
+
+    /** Write toCsv() to a file; false on I/O failure. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<TelemetryEvent> events_;
+};
+
+} // namespace rchdroid::sim
+
+#endif // RCHDROID_SIM_TRACE_H

@@ -1,0 +1,39 @@
+#include "view/extra_widgets.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "platform/logging.h"
+
+namespace rchdroid {
+
+Spinner::Spinner(std::string id) : AbsListView(std::move(id))
+{
+}
+
+Switch::Switch(std::string id) : CheckBox(std::move(id))
+{
+}
+
+RatingBar::RatingBar(std::string id, int num_stars)
+    : SeekBar(std::move(id)), num_stars_(num_stars)
+{
+    RCH_ASSERT(num_stars > 0, "rating bar needs at least one star");
+    setMax(num_stars_ * 2); // half-star steps
+}
+
+double
+RatingBar::rating() const
+{
+    return static_cast<double>(progress()) / 2.0;
+}
+
+void
+RatingBar::setRating(double stars)
+{
+    const double clamped =
+        std::clamp(stars, 0.0, static_cast<double>(num_stars_));
+    setProgress(static_cast<int>(clamped * 2.0 + 0.5));
+}
+
+} // namespace rchdroid

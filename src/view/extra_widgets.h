@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Additional stock widgets: Spinner, Switch, RatingBar — further
+ * members of the Table 1 basic-type families, demonstrating that the
+ * migration policy dispatch extends across the widget zoo without new
+ * framework code (each inherits its family's save/migrate behaviour).
+ */
+#ifndef RCHDROID_VIEW_EXTRA_WIDGETS_H
+#define RCHDROID_VIEW_EXTRA_WIDGETS_H
+
+#include <string>
+
+#include "view/list_view.h"
+#include "view/progress_bar.h"
+#include "view/text_view.h"
+
+namespace rchdroid {
+
+/**
+ * A dropdown selector, mirroring android.widget.Spinner. An
+ * AdapterView like AbsListView: the migratable essence is the selected
+ * position (the Orbot bridge-selector of Fig. 13(d) is a Spinner).
+ */
+class Spinner : public AbsListView
+{
+  public:
+    explicit Spinner(std::string id);
+
+    const char *typeName() const override { return "Spinner"; }
+
+    /** Convenience over the AbsListView selector. */
+    void select(int position) { setSelectorPosition(position); }
+    int selected() const { return selectorPosition(); }
+};
+
+/**
+ * A two-state toggle, mirroring android.widget.Switch: a
+ * CompoundButton, so the checked state persists by default and
+ * migrates with the Text-family policy plus checked state.
+ */
+class Switch : public CheckBox
+{
+  public:
+    explicit Switch(std::string id);
+
+    const char *typeName() const override { return "Switch"; }
+};
+
+/**
+ * A star-rating bar, mirroring android.widget.RatingBar: an AbsSeekBar
+ * under the hood, so it belongs to the Progress family. Rating is
+ * stored as progress in half-star steps.
+ */
+class RatingBar : public SeekBar
+{
+  public:
+    /** @param num_stars Star count (default 5, like Android). */
+    explicit RatingBar(std::string id, int num_stars = 5);
+
+    const char *typeName() const override { return "RatingBar"; }
+
+    int numStars() const { return num_stars_; }
+    double rating() const;
+    /** Set the rating in stars (clamped; half-star resolution). */
+    void setRating(double stars);
+
+  private:
+    int num_stars_;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_VIEW_EXTRA_WIDGETS_H

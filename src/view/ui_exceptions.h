@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Exceptions that model *application* crashes.
+ *
+ * These are the two failure signatures the paper attributes to the
+ * restarting-based handler (§2.3 App Crash): an asynchronous task returns
+ * after the restart, touches a view of the destroyed activity, and the
+ * process dies with a NullPointerException or WindowLeaked error. The
+ * simulated framework never throws for its own errors (it uses Status);
+ * a UiException crossing the ActivityThread dispatch boundary means the
+ * simulated app crashed, and the process is torn down exactly as Android
+ * would.
+ */
+#ifndef RCHDROID_VIEW_UI_EXCEPTIONS_H
+#define RCHDROID_VIEW_UI_EXCEPTIONS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace rchdroid {
+
+/** Which Android failure a UiException models. */
+enum class UiFailureKind {
+    /** Dereference of a released view (java.lang.NullPointerException). */
+    NullPointer,
+    /** Window with a dead token (android.view.WindowLeaked). */
+    WindowLeaked,
+    /** View mutation from a non-UI thread (CalledFromWrongThreadException). */
+    WrongThread,
+};
+
+/** Name string for logs: "NullPointerException" etc. */
+const char *uiFailureKindName(UiFailureKind kind);
+
+/**
+ * A simulated uncaught app exception.
+ */
+class UiException : public std::runtime_error
+{
+  public:
+    UiException(UiFailureKind kind, const std::string &detail)
+        : std::runtime_error(std::string(uiFailureKindName(kind)) + ": " +
+                             detail),
+          kind_(kind)
+    {
+    }
+
+    UiFailureKind kind() const { return kind_; }
+
+  private:
+    UiFailureKind kind_;
+};
+
+inline const char *
+uiFailureKindName(UiFailureKind kind)
+{
+    switch (kind) {
+      case UiFailureKind::NullPointer:
+        return "NullPointerException";
+      case UiFailureKind::WindowLeaked:
+        return "WindowLeaked";
+      case UiFailureKind::WrongThread:
+        return "CalledFromWrongThreadException";
+    }
+    return "UnknownUiException";
+}
+
+} // namespace rchdroid
+
+#endif // RCHDROID_VIEW_UI_EXCEPTIONS_H

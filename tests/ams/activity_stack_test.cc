@@ -1,0 +1,163 @@
+/**
+ * @file
+ * TaskRecord / ActivityStack: the Fig. 2(b) structures plus the
+ * coin-flip search of Table 2.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ams/activity_stack.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(TaskRecord, PushTopRemove)
+{
+    TaskRecord task(1, "proc");
+    EXPECT_TRUE(task.empty());
+    EXPECT_EQ(task.top(), kInvalidToken);
+    task.push(10);
+    task.push(20);
+    EXPECT_EQ(task.top(), 20u);
+    EXPECT_EQ(task.depth(), 2u);
+    EXPECT_TRUE(task.remove(10));
+    EXPECT_FALSE(task.remove(10));
+    EXPECT_EQ(task.depth(), 1u);
+}
+
+TEST(TaskRecord, MoveToTop)
+{
+    TaskRecord task(1, "proc");
+    task.push(1);
+    task.push(2);
+    task.push(3);
+    EXPECT_TRUE(task.moveToTop(1));
+    EXPECT_EQ(task.top(), 1u);
+    EXPECT_EQ(task.tokens(), (std::vector<ActivityToken>{2, 3, 1}));
+    EXPECT_FALSE(task.moveToTop(99));
+}
+
+TEST(ActivityStack, CreateTaskGoesOnTop)
+{
+    ActivityStack stack;
+    auto &a = stack.createTask("app.a");
+    EXPECT_EQ(stack.topTask(), &a);
+    stack.createTask("app.b");
+    EXPECT_EQ(stack.topTask()->process(), "app.b");
+    EXPECT_EQ(stack.taskCount(), 2u);
+}
+
+TEST(ActivityStack, MoveTaskToFront)
+{
+    ActivityStack stack;
+    auto &a = stack.createTask("app.a");
+    stack.createTask("app.b");
+    EXPECT_TRUE(stack.moveTaskToFront(a.id()));
+    EXPECT_EQ(stack.topTask()->process(), "app.a");
+    EXPECT_FALSE(stack.moveTaskToFront(999));
+}
+
+TEST(ActivityStack, TaskForProcessAndContaining)
+{
+    ActivityStack stack;
+    auto &a = stack.createTask("app.a");
+    a.push(42);
+    EXPECT_EQ(stack.taskForProcess("app.a"), stack.topTask());
+    EXPECT_EQ(stack.taskForProcess("none"), nullptr);
+    EXPECT_EQ(stack.taskContaining(42), stack.topTask());
+    EXPECT_EQ(stack.taskContaining(7), nullptr);
+}
+
+TEST(ActivityStack, RemoveTask)
+{
+    ActivityStack stack;
+    auto &a = stack.createTask("app.a");
+    EXPECT_TRUE(stack.removeTask(a.id()));
+    EXPECT_EQ(stack.taskCount(), 0u);
+    EXPECT_FALSE(stack.removeTask(123));
+}
+
+struct ShadowSearchFixture : ::testing::Test
+{
+    ShadowSearchFixture()
+    {
+        task = &stack.createTask("app");
+        for (ActivityToken token : {1u, 2u, 3u}) {
+            records.emplace(
+                token, ActivityRecord(token, "app/.Main", "app",
+                                      Configuration::defaultPortrait(), 0));
+            task->push(token);
+        }
+    }
+
+    std::function<const ActivityRecord *(ActivityToken)>
+    lookup()
+    {
+        return [this](ActivityToken token) -> const ActivityRecord * {
+            auto it = records.find(token);
+            return it != records.end() ? &it->second : nullptr;
+        };
+    }
+
+    ActivityStack stack;
+    TaskRecord *task = nullptr;
+    std::map<ActivityToken, ActivityRecord> records;
+};
+
+TEST_F(ShadowSearchFixture, FindsShadowRecord)
+{
+    records.at(2).setShadow(true, 100);
+    int visited = 0;
+    const auto found =
+        stack.findShadowActivityLocked(*task, "app/.Main", lookup(), visited);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, 2u);
+    // Top-down probe: 3 then 2.
+    EXPECT_EQ(visited, 2);
+}
+
+TEST_F(ShadowSearchFixture, NoShadowReturnsNullopt)
+{
+    int visited = 0;
+    const auto found =
+        stack.findShadowActivityLocked(*task, "app/.Main", lookup(), visited);
+    EXPECT_FALSE(found.has_value());
+    EXPECT_EQ(visited, 3);
+}
+
+TEST_F(ShadowSearchFixture, ComponentMustMatch)
+{
+    records.at(1).setShadow(true, 100);
+    int visited = 0;
+    const auto found = stack.findShadowActivityLocked(*task, "app/.Other",
+                                                      lookup(), visited);
+    EXPECT_FALSE(found.has_value());
+}
+
+TEST(ActivityRecord, ShadowFieldAndTimestamps)
+{
+    ActivityRecord record(5, "c", "p", Configuration::defaultPortrait(), 10);
+    EXPECT_FALSE(record.isShadow());
+    record.setShadow(true, 777);
+    EXPECT_TRUE(record.isShadow());
+    EXPECT_EQ(record.shadowSince(), 777);
+    record.setShadow(false, 888);
+    EXPECT_FALSE(record.isShadow());
+    // shadowSince keeps the last entry time.
+    EXPECT_EQ(record.shadowSince(), 777);
+}
+
+TEST(ActivityRecord, StateAndConfig)
+{
+    ActivityRecord record(5, "c", "p", Configuration::defaultPortrait(), 10);
+    EXPECT_EQ(record.state(), RecordState::Launching);
+    record.setState(RecordState::Resumed);
+    EXPECT_EQ(record.state(), RecordState::Resumed);
+    record.setConfiguration(Configuration::defaultLandscape());
+    EXPECT_EQ(record.configuration().orientation, Orientation::Landscape);
+    EXPECT_EQ(record.createdAt(), 10);
+}
+
+} // namespace
+} // namespace rchdroid

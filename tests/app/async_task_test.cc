@@ -1,0 +1,127 @@
+/**
+ * @file
+ * AsyncTask: background timing, UI delivery, cancellation, owner
+ * retention — the Fig. 1 machinery.
+ */
+#include <gtest/gtest.h>
+
+#include "app/activity_thread.h"
+#include "app/async_task.h"
+
+namespace rchdroid {
+namespace {
+
+class NoopActivity : public Activity
+{
+  public:
+    NoopActivity() : Activity("test/.Noop") {}
+};
+
+struct AsyncFixture : ::testing::Test
+{
+    AsyncFixture()
+    {
+        ProcessParams params;
+        params.process_name = "test.proc";
+        thread = std::make_unique<ActivityThread>(
+            scheduler, params, std::make_shared<ResourceTable>(),
+            ResourceCostModel{}, FrameworkCosts{});
+        owner = std::make_shared<NoopActivity>();
+    }
+
+    SimScheduler scheduler;
+    std::unique_ptr<ActivityThread> thread;
+    std::shared_ptr<Activity> owner;
+};
+
+TEST_F(AsyncFixture, CompletesOnUiThreadAfterDuration)
+{
+    auto task = std::make_shared<AsyncTask>(*thread, owner, "t");
+    SimTime done_at = -1;
+    task->execute(milliseconds(100), [&] { done_at = scheduler.now(); });
+    scheduler.runUntilIdle();
+    EXPECT_EQ(done_at, milliseconds(100));
+    EXPECT_EQ(task->state(), AsyncTask::TaskState::Finished);
+    EXPECT_EQ(thread->inFlightAsyncTasks(), 0u);
+}
+
+TEST_F(AsyncFixture, UiCostOccupiesUiLooper)
+{
+    auto task = std::make_shared<AsyncTask>(*thread, owner, "t");
+    task->execute(milliseconds(10), [] {}, milliseconds(5));
+    scheduler.runUntilIdle();
+    EXPECT_EQ(thread->uiLooper().totalBusyTime(), milliseconds(5));
+}
+
+TEST_F(AsyncFixture, WorkerOccupiedForBackgroundDuration)
+{
+    auto task = std::make_shared<AsyncTask>(*thread, owner, "t");
+    task->execute(milliseconds(30), [] {});
+    scheduler.runUntilIdle();
+    EXPECT_EQ(thread->workerLooper().totalBusyTime(), milliseconds(30));
+}
+
+TEST_F(AsyncFixture, CancelledTaskSkipsOnPostExecute)
+{
+    auto task = std::make_shared<AsyncTask>(*thread, owner, "t");
+    bool ran = false;
+    task->execute(milliseconds(100), [&] { ran = true; });
+    scheduler.runUntil(milliseconds(50));
+    task->cancel();
+    scheduler.runUntilIdle();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(task->state(), AsyncTask::TaskState::Cancelled);
+    EXPECT_EQ(thread->inFlightAsyncTasks(), 0u);
+}
+
+TEST_F(AsyncFixture, CancelAfterFinishIsNoop)
+{
+    auto task = std::make_shared<AsyncTask>(*thread, owner, "t");
+    task->execute(milliseconds(1), [] {});
+    scheduler.runUntilIdle();
+    task->cancel();
+    EXPECT_EQ(task->state(), AsyncTask::TaskState::Finished);
+}
+
+TEST_F(AsyncFixture, InFlightCountTracksTask)
+{
+    auto task = std::make_shared<AsyncTask>(*thread, owner, "t");
+    task->execute(milliseconds(100), [] {});
+    EXPECT_EQ(thread->inFlightAsyncTasks(), 1u);
+    scheduler.runUntilIdle();
+    EXPECT_EQ(thread->inFlightAsyncTasks(), 0u);
+}
+
+TEST_F(AsyncFixture, TwoTasksSerialiseOnOneWorker)
+{
+    auto t1 = std::make_shared<AsyncTask>(*thread, owner, "t1");
+    auto t2 = std::make_shared<AsyncTask>(*thread, owner, "t2");
+    SimTime first = -1, second = -1;
+    t1->execute(milliseconds(40), [&] { first = scheduler.now(); });
+    t2->execute(milliseconds(10), [&] { second = scheduler.now(); });
+    scheduler.runUntilIdle();
+    EXPECT_EQ(first, milliseconds(40));
+    EXPECT_EQ(second, milliseconds(50)); // queued behind t1's 40 ms
+}
+
+TEST_F(AsyncFixture, OwnerKeptAliveByTask)
+{
+    auto task = std::make_shared<AsyncTask>(*thread, owner, "t");
+    std::weak_ptr<Activity> weak = owner;
+    task->execute(milliseconds(100), [] {});
+    owner.reset();
+    EXPECT_FALSE(weak.expired()); // the task's strong ref pins it
+    scheduler.runUntilIdle();
+    task.reset();
+    EXPECT_TRUE(weak.expired());
+}
+
+TEST_F(AsyncFixture, DoubleExecutePanics)
+{
+    auto task = std::make_shared<AsyncTask>(*thread, owner, "t");
+    task->execute(1, [] {});
+    EXPECT_DEATH(task->execute(1, [] {}), "twice");
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dialog: window-token semantics — the WindowLeaked crash class of
+ * §2.3 and its RCHDroid resolution.
+ */
+#include <gtest/gtest.h>
+
+#include "app/activity.h"
+#include "view/text_view.h"
+#include "view/view_group.h"
+
+namespace rchdroid {
+namespace {
+
+class HostActivity : public Activity
+{
+  public:
+    HostActivity() : Activity("test/.DialogHost") {}
+
+  protected:
+    void
+    onCreate(const Bundle *) override
+    {
+        setContentView(std::make_unique<FrameLayout>("root"));
+    }
+};
+
+struct DialogFixture : ::testing::Test
+{
+    DialogFixture()
+    {
+        table = std::make_shared<ResourceTable>();
+        resources.emplace(table, ResourceCostModel{});
+        inflater.emplace(*resources, 0);
+        ActivityContext context;
+        context.resources = &*resources;
+        context.inflater = &*inflater;
+        host.attachContext(context);
+        host.performCreate(Configuration::defaultPortrait(), nullptr);
+        host.performStart();
+        host.performResume();
+    }
+
+    std::shared_ptr<ResourceTable> table;
+    std::optional<ResourceManager> resources;
+    std::optional<LayoutInflater> inflater;
+    HostActivity host;
+};
+
+TEST_F(DialogFixture, ShowAndDismiss)
+{
+    Dialog dialog(host, "progress");
+    EXPECT_FALSE(dialog.isShowing());
+    dialog.show();
+    EXPECT_TRUE(dialog.isShowing());
+    EXPECT_EQ(host.showingDialogCount(), 1);
+    dialog.dismiss();
+    EXPECT_FALSE(dialog.isShowing());
+    EXPECT_EQ(host.showingDialogCount(), 0);
+}
+
+TEST_F(DialogFixture, ContentView)
+{
+    Dialog dialog(host, "confirm");
+    auto &text = dialog.setContent(std::make_unique<TextView>("msg"));
+    EXPECT_EQ(dialog.content(), &text);
+}
+
+TEST_F(DialogFixture, ShowAfterDestroyThrowsWindowLeaked)
+{
+    Dialog dialog(host, "late");
+    host.performDestroy();
+    try {
+        dialog.show();
+        FAIL() << "expected WindowLeaked";
+    } catch (const UiException &e) {
+        EXPECT_EQ(e.kind(), UiFailureKind::WindowLeaked);
+    }
+}
+
+TEST_F(DialogFixture, DestroyWithShowingDialogLeaksButSurvives)
+{
+    Dialog dialog(host, "leaky");
+    dialog.show();
+    host.performDestroy(); // logs the leak, force-closes the window
+    EXPECT_FALSE(dialog.isShowing());
+    EXPECT_TRUE(host.isDestroyed());
+}
+
+TEST_F(DialogFixture, ShowOnShadowActivitySucceeds)
+{
+    // The RCHDroid resolution: the owner is alive in the shadow state,
+    // so an async task's dialog does not crash.
+    Dialog dialog(host, "async-result");
+    host.enterShadowState();
+    dialog.show();
+    EXPECT_TRUE(dialog.isShowing());
+}
+
+TEST_F(DialogFixture, UnregisteredDialogIgnoredAtDestroy)
+{
+    {
+        Dialog dialog(host, "scoped");
+        dialog.show();
+        dialog.dismiss();
+    } // destructor unregisters
+    host.performDestroy();
+    EXPECT_EQ(host.showingDialogCount(), 0);
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Fig. 4 lifecycle state machine, including the dotted RCHDroid
+ * edges, as a full transition-matrix property test.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "app/lifecycle.h"
+
+namespace rchdroid {
+namespace {
+
+using S = LifecycleState;
+
+const std::vector<S> kAllStates = {
+    S::Initial, S::Created, S::Started, S::Resumed, S::Paused,
+    S::Stopped, S::Destroyed, S::Shadow, S::Sunny,
+};
+
+TEST(Lifecycle, StockHappyPath)
+{
+    EXPECT_TRUE(isValidTransition(S::Initial, S::Created));
+    EXPECT_TRUE(isValidTransition(S::Created, S::Started));
+    EXPECT_TRUE(isValidTransition(S::Started, S::Resumed));
+    EXPECT_TRUE(isValidTransition(S::Resumed, S::Paused));
+    EXPECT_TRUE(isValidTransition(S::Paused, S::Stopped));
+    EXPECT_TRUE(isValidTransition(S::Stopped, S::Destroyed));
+}
+
+TEST(Lifecycle, StockReturnPaths)
+{
+    EXPECT_TRUE(isValidTransition(S::Paused, S::Resumed));
+    EXPECT_TRUE(isValidTransition(S::Stopped, S::Started));
+}
+
+TEST(Lifecycle, RchDroidDottedEdges)
+{
+    // Stopped with the shadow flag at a runtime change.
+    EXPECT_TRUE(isValidTransition(S::Resumed, S::Shadow));
+    // Created/resumed with the sunny flag.
+    EXPECT_TRUE(isValidTransition(S::Created, S::Sunny));
+    EXPECT_TRUE(isValidTransition(S::Started, S::Sunny));
+    // Coin flip, both directions.
+    EXPECT_TRUE(isValidTransition(S::Shadow, S::Sunny));
+    EXPECT_TRUE(isValidTransition(S::Sunny, S::Shadow));
+    // GC reclaims the shadow instance.
+    EXPECT_TRUE(isValidTransition(S::Shadow, S::Destroyed));
+    // Shadow partner collected: sunny degrades to plain resumed.
+    EXPECT_TRUE(isValidTransition(S::Sunny, S::Resumed));
+}
+
+TEST(Lifecycle, ForbiddenEdges)
+{
+    EXPECT_FALSE(isValidTransition(S::Initial, S::Resumed));
+    EXPECT_FALSE(isValidTransition(S::Created, S::Resumed));
+    EXPECT_FALSE(isValidTransition(S::Resumed, S::Destroyed));
+    EXPECT_FALSE(isValidTransition(S::Shadow, S::Resumed));
+    EXPECT_FALSE(isValidTransition(S::Shadow, S::Paused));
+    EXPECT_FALSE(isValidTransition(S::Paused, S::Shadow));
+    EXPECT_FALSE(isValidTransition(S::Stopped, S::Sunny));
+}
+
+TEST(Lifecycle, DestroyedIsTerminal)
+{
+    for (S to : kAllStates)
+        EXPECT_FALSE(isValidTransition(S::Destroyed, to));
+}
+
+TEST(Lifecycle, NothingReturnsToInitial)
+{
+    for (S from : kAllStates)
+        EXPECT_FALSE(isValidTransition(from, S::Initial));
+}
+
+TEST(Lifecycle, AliveAndForegroundPredicates)
+{
+    EXPECT_FALSE(isAlive(S::Initial));
+    EXPECT_FALSE(isAlive(S::Destroyed));
+    EXPECT_TRUE(isAlive(S::Shadow));
+    EXPECT_TRUE(isAlive(S::Sunny));
+    EXPECT_TRUE(isAlive(S::Resumed));
+
+    EXPECT_TRUE(isForeground(S::Resumed));
+    EXPECT_TRUE(isForeground(S::Sunny));
+    EXPECT_FALSE(isForeground(S::Shadow));
+    EXPECT_FALSE(isForeground(S::Paused));
+}
+
+TEST(Lifecycle, NamesAreDistinct)
+{
+    std::vector<std::string> names;
+    for (S state : kAllStates)
+        names.push_back(lifecycleStateName(state));
+    for (std::size_t i = 0; i < names.size(); ++i)
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            EXPECT_NE(names[i], names[j]);
+}
+
+/** Parameterised: every state has at least one outgoing edge except
+ *  Destroyed (liveness of the machine). */
+class LifecycleOutgoing : public ::testing::TestWithParam<S>
+{
+};
+
+TEST_P(LifecycleOutgoing, HasSuccessorUnlessTerminal)
+{
+    const S from = GetParam();
+    bool any = false;
+    for (S to : kAllStates)
+        any = any || isValidTransition(from, to);
+    if (from == S::Destroyed)
+        EXPECT_FALSE(any);
+    else
+        EXPECT_TRUE(any) << lifecycleStateName(from);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStates, LifecycleOutgoing,
+                         ::testing::ValuesIn(kAllStates));
+
+} // namespace
+} // namespace rchdroid

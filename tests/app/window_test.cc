@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Window: content management and layout.
+ */
+#include <gtest/gtest.h>
+
+#include "app/window.h"
+#include "view/text_view.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(Window, StartsWithDecorOnly)
+{
+    Window window;
+    EXPECT_EQ(window.content(), nullptr);
+    EXPECT_EQ(window.countViews(), 1); // just the decor
+}
+
+TEST(Window, SetContentInstallsUnderDecor)
+{
+    Window window;
+    auto &content = window.setContent(std::make_unique<TextView>("c"));
+    EXPECT_EQ(window.content(), &content);
+    EXPECT_EQ(window.countViews(), 2);
+    EXPECT_EQ(content.parent(), &window.decorView());
+}
+
+TEST(Window, SetContentReplacesPrevious)
+{
+    Window window;
+    window.setContent(std::make_unique<TextView>("first"));
+    auto &second = window.setContent(std::make_unique<TextView>("second"));
+    EXPECT_EQ(window.content(), &second);
+    EXPECT_EQ(window.countViews(), 2);
+    EXPECT_EQ(window.decorView().findViewById("first"), nullptr);
+}
+
+TEST(Window, LayoutPropagatesSurfaceSize)
+{
+    Window window;
+    auto &content = window.setContent(std::make_unique<TextView>("c"));
+    window.layout(1080, 1920);
+    EXPECT_EQ(window.decorView().frameWidth(), 1080);
+    EXPECT_EQ(content.frameWidth(), 1080);
+    EXPECT_EQ(content.frameHeight(), 1920);
+}
+
+TEST(Window, MemoryFootprintSumsTree)
+{
+    Window window;
+    const auto empty = window.memoryFootprintBytes();
+    window.setContent(std::make_unique<TextView>("c"));
+    EXPECT_GT(window.memoryFootprintBytes(), empty);
+}
+
+} // namespace
+} // namespace rchdroid

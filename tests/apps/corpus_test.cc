@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Corpus integrity: the app sets must encode exactly the aggregate
+ * facts of Tables 3, 4 and 5.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/corpus.h"
+
+namespace rchdroid::apps {
+namespace {
+
+TEST(Tp37Corpus, HasTwentySevenApps)
+{
+    EXPECT_EQ(tp37().size(), 27u);
+}
+
+TEST(Tp37Corpus, AllHaveStockIssues)
+{
+    for (const auto &spec : tp37())
+        EXPECT_TRUE(spec.expect_issue_stock) << spec.name;
+}
+
+TEST(Tp37Corpus, ExactlyTwoUnfixable)
+{
+    int unfixable = 0;
+    std::set<std::string> names;
+    for (const auto &spec : tp37()) {
+        if (!spec.expect_fixed_by_rch) {
+            ++unfixable;
+            names.insert(spec.name);
+        }
+    }
+    EXPECT_EQ(unfixable, 2);
+    EXPECT_TRUE(names.count("DiskDiggerPro")); // Table 3 #9
+    EXPECT_TRUE(names.count("Dock4Droid"));    // Table 3 #10
+}
+
+TEST(Tp37Corpus, UnfixableAreCustomStateWithoutOnSave)
+{
+    for (const auto &spec : tp37()) {
+        if (!spec.expect_fixed_by_rch) {
+            EXPECT_EQ(spec.critical, CriticalState::CustomVariable);
+            EXPECT_FALSE(spec.implements_on_save);
+        }
+    }
+}
+
+TEST(Tp37Corpus, NamesUniqueAndComponentsDerived)
+{
+    std::set<std::string> names;
+    for (const auto &spec : tp37()) {
+        EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+        EXPECT_EQ(spec.component(), "com.eval." + spec.name +
+                                        "/.MainActivity");
+    }
+}
+
+TEST(Tp37Corpus, Deterministic)
+{
+    const auto a = tp37();
+    const auto b = tp37();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].n_image_views, b[i].n_image_views);
+        EXPECT_EQ(a[i].base_heap_bytes, b[i].base_heap_bytes);
+    }
+}
+
+TEST(Top100Corpus, HasHundredApps)
+{
+    EXPECT_EQ(top100().size(), 100u);
+}
+
+TEST(Top100Corpus, TableAggregates)
+{
+    int issues = 0, fixable = 0, declares = 0, default_safe = 0;
+    for (const auto &spec : top100()) {
+        issues += spec.expect_issue_stock;
+        fixable += spec.expect_fixed_by_rch;
+        declares += spec.handles_config_changes;
+        default_safe +=
+            !spec.expect_issue_stock && !spec.handles_config_changes;
+    }
+    EXPECT_EQ(issues, 63);       // Table 5: 63/100 with issues
+    EXPECT_EQ(fixable, 59);      // §6: RCHDroid resolves 59/63
+    EXPECT_EQ(declares, 26);     // 26 declare android:configChanges
+    EXPECT_EQ(default_safe, 11); // 11 default-handling without issues
+}
+
+TEST(Top100Corpus, TheFourUnfixableApps)
+{
+    std::set<std::string> unfixable;
+    for (const auto &spec : top100()) {
+        if (spec.expect_issue_stock && !spec.expect_fixed_by_rch)
+            unfixable.insert(spec.name);
+    }
+    EXPECT_EQ(unfixable,
+              (std::set<std::string>{"Filto", "HaircutPrank",
+                                     "CastForChrome", "KingJamesBible"}));
+}
+
+TEST(Top100Corpus, KnownRows)
+{
+    const auto apps = top100();
+    EXPECT_EQ(apps[0].name, "AmazonPrimeVideo");
+    EXPECT_EQ(apps[27].name, "Twitter"); // row 28
+    EXPECT_EQ(apps[27].critical, CriticalState::EditTextNoId);
+    EXPECT_EQ(apps[8].name, "Disney+");
+    EXPECT_EQ(apps[8].critical, CriticalState::ScrollOffsetNoId);
+    EXPECT_EQ(apps[40].name, "Orbot");
+    EXPECT_EQ(apps[40].critical, CriticalState::ListSelection);
+    EXPECT_TRUE(apps[3].handles_config_changes); // Instagram
+}
+
+TEST(Top100Corpus, HeavierThanTp37)
+{
+    double tp_heap = 0, top_heap = 0;
+    for (const auto &spec : tp37())
+        tp_heap += static_cast<double>(spec.base_heap_bytes);
+    tp_heap /= 27;
+    for (const auto &spec : top100())
+        top_heap += static_cast<double>(spec.base_heap_bytes);
+    top_heap /= 100;
+    EXPECT_GT(top_heap, 2 * tp_heap);
+}
+
+TEST(BenchmarkApp, CompositionMatchesPaper)
+{
+    const auto spec = makeBenchmarkApp(32);
+    EXPECT_EQ(spec.n_image_views, 32);
+    EXPECT_EQ(spec.n_text_views, 0);
+    EXPECT_EQ(spec.n_list_views, 0);
+    EXPECT_EQ(spec.async.trigger, AsyncTrigger::OnButtonClick);
+    EXPECT_EQ(spec.async.duration, seconds(5)); // "in five seconds"
+}
+
+TEST(BenchmarkApp, CustomAsyncDuration)
+{
+    const auto spec = makeBenchmarkApp(4, milliseconds(50));
+    EXPECT_EQ(spec.async.duration, milliseconds(50));
+}
+
+TEST(BenchmarkApp, LayoutViewsCountsContainers)
+{
+    const auto spec = makeBenchmarkApp(4);
+    // root + title + button + 4 images = 7.
+    EXPECT_EQ(spec.totalLayoutViews(), 7);
+}
+
+TEST(RuntimeDroidApps, MatchesTable4Set)
+{
+    const auto apps = runtimeDroidEvalApps();
+    ASSERT_EQ(apps.size(), 8u);
+    EXPECT_EQ(apps[0].name, "Mdapp");
+    EXPECT_EQ(apps[7].name, "VlilleChecker");
+}
+
+TEST(RuntimeDroidApps, UnpatchedByDefault)
+{
+    // Fig. 12 controls both columns itself: the corpus ships the apps
+    // unpatched and the bench applies the RuntimeDroid patch explicitly.
+    for (const auto &spec : runtimeDroidEvalApps())
+        EXPECT_FALSE(spec.runtimedroid_patched) << spec.name;
+    for (const auto &spec : tp37())
+        EXPECT_FALSE(spec.runtimedroid_patched) << spec.name;
+}
+
+} // namespace
+} // namespace rchdroid::apps

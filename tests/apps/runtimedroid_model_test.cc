@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RuntimeDroidModel: Table 4 data integrity and the §5.7 constants.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/runtimedroid.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(RuntimeDroidModel, Table4Verbatim)
+{
+    RuntimeDroidModel model;
+    ASSERT_EQ(model.apps().size(), 8u);
+
+    const auto *mdapp = model.find("Mdapp");
+    ASSERT_NE(mdapp, nullptr);
+    EXPECT_EQ(mdapp->loc_android10, 26'342);
+    EXPECT_EQ(mdapp->loc_runtimedroid, 28'419);
+    EXPECT_EQ(mdapp->loc_modifications, 2077);
+
+    const auto *alarm = model.find("AlarmKlock");
+    ASSERT_NE(alarm, nullptr);
+    EXPECT_EQ(alarm->loc_modifications, 772);
+
+    const auto *vlille = model.find("VlilleChecker");
+    ASSERT_NE(vlille, nullptr);
+    EXPECT_EQ(vlille->loc_modifications, 760);
+}
+
+TEST(RuntimeDroidModel, ModificationColumnIsConsistent)
+{
+    // Table 4's "Modifications" roughly equals the LoC delta; the paper's
+    // own rows differ slightly for some apps (refactoring removes lines),
+    // so the invariant is: modifications >= delta, never less.
+    RuntimeDroidModel model;
+    for (const auto &app : model.apps()) {
+        EXPECT_GE(app.loc_modifications,
+                  app.loc_runtimedroid - app.loc_android10)
+            << app.app_name;
+        EXPECT_GT(app.loc_modifications, 0) << app.app_name;
+    }
+}
+
+TEST(RuntimeDroidModel, TotalModifications)
+{
+    RuntimeDroidModel model;
+    // Sum of Table 4's Modifications column.
+    EXPECT_EQ(model.totalModificationLoc(),
+              2077 + 854 + 772 + 1259 + 1271 + 1605 + 1722 + 760);
+}
+
+TEST(RuntimeDroidModel, LatencyFractionsBracketThePaperBars)
+{
+    RuntimeDroidModel model;
+    for (const auto &app : model.apps()) {
+        EXPECT_GT(app.latency_vs_android10, 0.3) << app.app_name;
+        EXPECT_LT(app.latency_vs_android10, 0.6) << app.app_name;
+    }
+}
+
+TEST(RuntimeDroidModel, DeploymentConstants)
+{
+    EXPECT_EQ(RuntimeDroidModel::rchdroidDeployTimeMs(), 92'870);
+    EXPECT_EQ(RuntimeDroidModel::rchdroidAppModificationLoc(), 0);
+    EXPECT_EQ(RuntimeDroidModel::minPatchTimeMs(), 12'867);
+    EXPECT_EQ(RuntimeDroidModel::maxPatchTimeMs(), 161'598);
+    RuntimeDroidModel model;
+    for (const auto &app : model.apps()) {
+        EXPECT_GE(app.patch_time_ms, RuntimeDroidModel::minPatchTimeMs());
+        EXPECT_LE(app.patch_time_ms, RuntimeDroidModel::maxPatchTimeMs());
+    }
+}
+
+TEST(RuntimeDroidModel, FindMisses)
+{
+    RuntimeDroidModel model;
+    EXPECT_EQ(model.find("NotAnApp"), nullptr);
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SimulatedApp: the spec interpreter's behaviours — content creation,
+ * onSaveInstanceState discipline, async task wiring, cancellation.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/app_builder.h"
+#include "apps/corpus.h"
+#include "apps/simulated_app.h"
+#include "apps/user_driver.h"
+#include "view/text_view.h"
+
+namespace rchdroid::apps {
+namespace {
+
+struct SimAppFixture : ::testing::Test
+{
+    std::shared_ptr<SimulatedApp>
+    install(const AppSpec &spec)
+    {
+        built = buildAppResources(spec);
+        ProcessParams params;
+        params.process_name = spec.process();
+        thread = std::make_unique<ActivityThread>(
+            scheduler, params, built.resources, ResourceCostModel{},
+            FrameworkCosts{});
+        thread->registerActivityFactory(spec.component(),
+                                        makeAppFactory(spec, built));
+        LaunchArgs args;
+        args.token = 1;
+        args.component = spec.component();
+        args.config = Configuration::defaultPortrait();
+        thread->scheduleLaunchActivity(args);
+        scheduler.runUntilIdle();
+        return std::dynamic_pointer_cast<SimulatedApp>(
+            thread->activityForToken(1));
+    }
+
+    SimScheduler scheduler;
+    BuiltApp built;
+    std::unique_ptr<ActivityThread> thread;
+};
+
+TEST_F(SimAppFixture, BuildsContentFromSpec)
+{
+    AppSpec spec = makeBenchmarkApp(4);
+    auto app = install(spec);
+    ASSERT_NE(app, nullptr);
+    EXPECT_EQ(app->window().countViews(), spec.totalLayoutViews() + 1);
+    EXPECT_NE(app->findViewById("btn"), nullptr);
+    EXPECT_NE(app->findViewById("img_3"), nullptr);
+    EXPECT_EQ(app->privateHeapBytes(), spec.private_heap_bytes);
+}
+
+TEST_F(SimAppFixture, ButtonClickStartsAsyncTask)
+{
+    auto app = install(makeBenchmarkApp(2, milliseconds(10)));
+    EXPECT_EQ(app->asyncTasksStarted(), 0);
+    thread->postAppCallback([app] { app->clickUpdateButton(); });
+    scheduler.runUntilIdle();
+    EXPECT_EQ(app->asyncTasksStarted(), 1);
+    EXPECT_TRUE(imagesUpdatedByAsync(*app));
+}
+
+TEST_F(SimAppFixture, OnCreateTriggerFiresWithoutClick)
+{
+    AppSpec spec = makeBenchmarkApp(2, milliseconds(10));
+    spec.async.trigger = AsyncTrigger::OnCreate;
+    auto app = install(spec);
+    scheduler.runUntilIdle();
+    EXPECT_EQ(app->asyncTasksStarted(), 1);
+    EXPECT_TRUE(imagesUpdatedByAsync(*app));
+}
+
+TEST_F(SimAppFixture, NeverTriggerMeansNoTasks)
+{
+    AppSpec spec = makeBenchmarkApp(2);
+    spec.async.trigger = AsyncTrigger::Never;
+    auto app = install(spec);
+    thread->postAppCallback([app] { app->clickUpdateButton(); });
+    scheduler.runUntilIdle();
+    EXPECT_EQ(app->asyncTasksStarted(), 0);
+}
+
+TEST_F(SimAppFixture, DisciplinedAppCancelsOnStop)
+{
+    AppSpec spec = makeBenchmarkApp(2, seconds(5));
+    spec.async.cancels_on_stop = true;
+    auto app = install(spec);
+    thread->postAppCallback([app] { app->clickUpdateButton(); });
+    scheduler.runUntil(milliseconds(100));
+    thread->postAppCallback([app] {
+        app->performPause();
+        app->performStop();
+    });
+    scheduler.runUntilIdle();
+    // The cancelled task never updated the images — and never crashed.
+    EXPECT_FALSE(imagesUpdatedByAsync(*app));
+    EXPECT_FALSE(thread->crashed());
+}
+
+TEST_F(SimAppFixture, OnSaveImplementedPersistsCustomValue)
+{
+    AppSpec spec = makeBenchmarkApp(1);
+    spec.implements_on_save = true;
+    auto app = install(spec);
+    app->setCustomValue(777);
+    const Bundle saved = app->saveInstanceStateNow(false);
+    EXPECT_EQ(saved.getBundle("app").getInt("custom_value"), 777);
+}
+
+TEST_F(SimAppFixture, OnSaveNotImplementedDropsCustomValue)
+{
+    AppSpec spec = makeBenchmarkApp(1);
+    spec.implements_on_save = false;
+    auto app = install(spec);
+    app->setCustomValue(777);
+    const Bundle saved = app->saveInstanceStateNow(true);
+    EXPECT_FALSE(saved.getBundle("app").contains("custom_value"));
+}
+
+TEST_F(SimAppFixture, AppLogicCostsCharged)
+{
+    AppSpec spec = makeBenchmarkApp(1);
+    spec.app_create_cost = milliseconds(25);
+    install(spec);
+    // The launch dispatch carried the app's onCreate cost.
+    EXPECT_GE(thread->uiLooper().totalBusyTime(), milliseconds(25));
+}
+
+} // namespace
+} // namespace rchdroid::apps

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * user_driver: the scripted user writes the canonical state and the
+ * observer detects precisely the critical loss class.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/app_builder.h"
+#include "apps/corpus.h"
+#include "apps/user_driver.h"
+#include "view/list_view.h"
+#include "view/progress_bar.h"
+#include "view/text_view.h"
+
+namespace rchdroid::apps {
+namespace {
+
+std::shared_ptr<SimulatedApp>
+makeApp(const AppSpec &spec, SimScheduler &scheduler,
+        std::unique_ptr<ActivityThread> &thread, BuiltApp &built)
+{
+    built = buildAppResources(spec);
+    ProcessParams params;
+    params.process_name = spec.process();
+    thread = std::make_unique<ActivityThread>(scheduler, params,
+                                              built.resources,
+                                              ResourceCostModel{},
+                                              FrameworkCosts{});
+    thread->registerActivityFactory(spec.component(),
+                                    makeAppFactory(spec, built));
+    LaunchArgs args;
+    args.token = 1;
+    args.component = spec.component();
+    args.config = Configuration::defaultPortrait();
+    thread->scheduleLaunchActivity(args);
+    scheduler.runUntilIdle();
+    return std::dynamic_pointer_cast<SimulatedApp>(
+        thread->activityForToken(1));
+}
+
+struct DriverFixture : ::testing::Test
+{
+    SimScheduler scheduler;
+    std::unique_ptr<ActivityThread> thread;
+    BuiltApp built;
+};
+
+TEST_F(DriverFixture, ApplyWritesCanonicalValuesEverywhere)
+{
+    AppSpec spec;
+    spec.name = "DriverApp";
+    spec.n_text_views = 1;
+    spec.n_edit_texts = 1;
+    spec.n_checkboxes = 1;
+    spec.n_progress_bars = 1;
+    spec.n_list_views = 1;
+    spec.list_items = 8;
+    auto app = makeApp(spec, scheduler, thread, built);
+    ASSERT_NE(app, nullptr);
+    applyCanonicalState(*app);
+
+    EXPECT_EQ(app->findViewByIdAs<EditText>("edit_0")->text(),
+              CanonicalValues::kTypedText);
+    EXPECT_EQ(app->findViewByIdAs<TextView>("text_0")->text(),
+              CanonicalValues::kLabelText);
+    EXPECT_TRUE(app->findViewByIdAs<CheckBox>("check_0")->isChecked());
+    EXPECT_EQ(app->findViewByIdAs<ProgressBar>("prog_0")->progress(),
+              CanonicalValues::kProgress);
+    EXPECT_EQ(app->findViewByIdAs<AbsListView>("list_0")->checkedItem(),
+              CanonicalValues::kCheckedItem);
+    EXPECT_EQ(app->customValue(), CanonicalValues::kCustomValue);
+}
+
+TEST_F(DriverFixture, TitleIsNotClobbered)
+{
+    AppSpec spec;
+    spec.name = "TitleApp";
+    auto app = makeApp(spec, scheduler, thread, built);
+    applyCanonicalState(*app);
+    EXPECT_EQ(app->findViewByIdAs<TextView>("title")->text(), "TitleApp");
+}
+
+TEST_F(DriverFixture, VerifyPassesWhenStateIntact)
+{
+    AppSpec spec;
+    spec.name = "IntactApp";
+    spec.critical = CriticalState::TextViewText;
+    auto app = makeApp(spec, scheduler, thread, built);
+    applyCanonicalState(*app);
+    EXPECT_TRUE(verifyCriticalState(*app).preserved);
+    EXPECT_TRUE(verifyAllState(*app).preserved);
+}
+
+TEST_F(DriverFixture, VerifyDetectsEachCriticalLoss)
+{
+    struct Case
+    {
+        CriticalState critical;
+        std::function<void(SimulatedApp &)> damage;
+    };
+    const std::vector<Case> cases = {
+        {CriticalState::TextViewText,
+         [](SimulatedApp &app) {
+             app.findViewByIdAs<TextView>("text_0")->setText("reset");
+         }},
+        {CriticalState::ProgressValue,
+         [](SimulatedApp &app) {
+             app.findViewByIdAs<ProgressBar>("prog_0")->setProgress(0);
+         }},
+        {CriticalState::ListSelection,
+         [](SimulatedApp &app) {
+             app.findViewByIdAs<AbsListView>("list_0")->clearItemChecked();
+         }},
+        {CriticalState::CustomVariable,
+         [](SimulatedApp &app) { app.setCustomValue(0); }},
+    };
+    for (const auto &test_case : cases) {
+        AppSpec spec;
+        spec.name = "Damage" +
+                    std::string(criticalStateName(test_case.critical));
+        spec.critical = test_case.critical;
+        spec.n_progress_bars = 1;
+        SimScheduler local_scheduler;
+        std::unique_ptr<ActivityThread> local_thread;
+        BuiltApp local_built;
+        auto app = makeApp(spec, local_scheduler, local_thread, local_built);
+        applyCanonicalState(*app);
+        ASSERT_TRUE(verifyCriticalState(*app).preserved);
+        test_case.damage(*app);
+        const auto result = verifyCriticalState(*app);
+        EXPECT_FALSE(result.preserved)
+            << criticalStateName(test_case.critical);
+        EXPECT_FALSE(result.losses.empty());
+    }
+}
+
+TEST_F(DriverFixture, CriticalCheckIgnoresUnrelatedDamage)
+{
+    AppSpec spec;
+    spec.name = "ScopedApp";
+    spec.critical = CriticalState::TextViewText;
+    auto app = makeApp(spec, scheduler, thread, built);
+    applyCanonicalState(*app);
+    app->setCustomValue(0); // unrelated to the critical class
+    EXPECT_TRUE(verifyCriticalState(*app).preserved);
+    EXPECT_FALSE(verifyAllState(*app).preserved);
+}
+
+TEST_F(DriverFixture, ImagesUpdatedDetector)
+{
+    auto app = makeApp(makeBenchmarkApp(2, milliseconds(5)), scheduler,
+                       thread, built);
+    EXPECT_FALSE(imagesUpdatedByAsync(*app));
+    thread->postAppCallback([app] { app->clickUpdateButton(); });
+    scheduler.runUntilIdle();
+    EXPECT_TRUE(imagesUpdatedByAsync(*app));
+}
+
+TEST_F(DriverFixture, ResultToString)
+{
+    StateCheckResult ok;
+    EXPECT_EQ(ok.toString(), "preserved");
+    StateCheckResult bad;
+    bad.preserved = false;
+    bad.losses = {"text box content", "scroll location"};
+    EXPECT_EQ(bad.toString(), "lost: text box content, scroll location");
+}
+
+} // namespace
+} // namespace rchdroid::apps

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The crash matrix: async-task timing × developer discipline × handling
+ * mode, parameterised. The paper's claim in one table: stock Android
+ * crashes exactly when an undisciplined app's async task straddles a
+ * runtime change; RCHDroid never crashes; disciplined apps (cancelling
+ * in onStop) never crash anywhere but lose their update.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/android_system.h"
+
+namespace rchdroid::sim {
+namespace {
+
+struct CrashCase
+{
+    RuntimeChangeMode mode;
+    bool cancels_on_stop;
+    /** Change fires while the task is still in flight. */
+    bool change_during_task;
+    /** Expected outcome. */
+    bool expect_crash;
+    bool expect_images_updated;
+};
+
+class CrashMatrix : public ::testing::TestWithParam<CrashCase>
+{
+};
+
+TEST_P(CrashMatrix, OutcomeMatches)
+{
+    const CrashCase &c = GetParam();
+    SystemOptions options;
+    options.mode = c.mode;
+    AndroidSystem system(options);
+    auto spec = apps::makeBenchmarkApp(4, seconds(5));
+    spec.async.cancels_on_stop = c.cancels_on_stop;
+    system.install(spec);
+    system.launch(spec);
+
+    system.clickUpdateButton(spec);
+    if (c.change_during_task) {
+        system.runFor(seconds(1)); // task mid-flight
+    } else {
+        system.runFor(seconds(6)); // task already returned
+    }
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+    system.runFor(seconds(6));
+
+    EXPECT_EQ(system.threadFor(spec).crashed(), c.expect_crash);
+    if (!c.expect_crash) {
+        auto foreground = system.foregroundApp(spec);
+        ASSERT_NE(foreground, nullptr);
+        EXPECT_EQ(apps::imagesUpdatedByAsync(*foreground),
+                  c.expect_images_updated);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, CrashMatrix,
+    ::testing::Values(
+        // Stock + undisciplined + task straddles the change → the
+        // Fig. 1 crash.
+        CrashCase{RuntimeChangeMode::Restart, false, true, true, false},
+        // Stock + disciplined: cancelled in onStop → no crash, update
+        // lost (image views show the old content after restart; the
+        // ImageView drawable is not part of the default save, so the
+        // restarted tree is not async-updated).
+        CrashCase{RuntimeChangeMode::Restart, true, true, false, false},
+        // Stock, task completed before the change → safe, updated
+        // before restart but the update does not survive it (ImageView
+        // content is not saved by default).
+        CrashCase{RuntimeChangeMode::Restart, false, false, false, false},
+        // RCHDroid + undisciplined + straddling task → lazy migration:
+        // no crash AND the update lands on the sunny tree.
+        CrashCase{RuntimeChangeMode::RchDroid, false, true, false, true},
+        // RCHDroid + task completed before the change → the update is
+        // part of the shadow snapshot (full save keeps the asset) and
+        // survives onto the sunny instance.
+        CrashCase{RuntimeChangeMode::RchDroid, false, false, false, true},
+        // RCHDroid + disciplined app: onStop never fires (the instance
+        // enters Shadow, not Stopped), so the cancel hook is never
+        // reached — the task survives and its update migrates. The
+        // disciplined app behaves like the undisciplined one, minus the
+        // crash risk it was defending against.
+        CrashCase{RuntimeChangeMode::RchDroid, true, true, false, true}),
+    [](const ::testing::TestParamInfo<CrashCase> &info) {
+        const CrashCase &c = info.param;
+        std::string name = c.mode == RuntimeChangeMode::Restart ? "Stock"
+                                                                : "RchDroid";
+        name += c.cancels_on_stop ? "Disciplined" : "Undisciplined";
+        name += c.change_during_task ? "Straddling" : "Completed";
+        return name;
+    });
+
+TEST(CrashDetails, StockCrashIsNullPointerOnImageView)
+{
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::Restart;
+    AndroidSystem system(options);
+    const auto spec = apps::makeBenchmarkApp(4, seconds(5));
+    system.install(spec);
+    system.launch(spec);
+    system.clickUpdateButton(spec);
+    system.rotate();
+    system.waitHandlingComplete();
+    system.runFor(seconds(6));
+    ASSERT_TRUE(system.threadFor(spec).crashed());
+    const auto &info = *system.threadFor(spec).crashInfo();
+    EXPECT_EQ(info.kind, UiFailureKind::NullPointer);
+    EXPECT_NE(info.reason.find("ImageView"), std::string::npos);
+}
+
+TEST(CrashDetails, AtmsCleansUpCrashedProcess)
+{
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::Restart;
+    AndroidSystem system(options);
+    const auto spec = apps::makeBenchmarkApp(4, seconds(5));
+    system.install(spec);
+    system.launch(spec);
+    system.clickUpdateButton(spec);
+    system.rotate();
+    system.waitHandlingComplete();
+    system.runFor(seconds(6));
+    ASSERT_TRUE(system.threadFor(spec).crashed());
+    EXPECT_EQ(system.atms().recordCount(), 0u);
+    EXPECT_EQ(system.atms().stack().taskCount(), 0u);
+}
+
+TEST(CrashDetails, ViewMutationFromWorkerThreadIsWrongThreadCrash)
+{
+    // The §2.1 rule: "updating the user interface can only be done by
+    // the activity thread". An app writing a view directly from its
+    // background thread dies with CalledFromWrongThreadException —
+    // independent of the runtime-change machinery.
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::RchDroid;
+    AndroidSystem system(options);
+    const auto spec = apps::makeBenchmarkApp(2);
+    system.install(spec);
+    system.launch(spec);
+
+    auto &thread = system.threadFor(spec);
+    auto activity = system.foregroundApp(spec);
+    // Buggy app code: doInBackground touches the view directly instead
+    // of posting to the UI thread.
+    thread.workerLooper().post([activity, &thread] {
+        try {
+            activity->findViewByIdAs<ImageView>("img_0")->setDrawable(
+                DrawableValue{"from_worker", 4, 4});
+        } catch (const UiException &e) {
+            // Surface through the process crash path, as the uncaught
+            // exception would on Android.
+            thread.postAppCallback([e] { throw e; });
+        }
+    });
+    system.runFor(seconds(1));
+    ASSERT_TRUE(thread.crashed());
+    EXPECT_EQ(thread.crashInfo()->kind, UiFailureKind::WrongThread);
+}
+
+TEST(CrashDetails, AsyncDialogAfterRestartIsWindowLeaked)
+{
+    // The §2.3 WindowLeaked class: onPostExecute shows a result dialog
+    // on the captured (now destroyed) activity.
+    auto spec = apps::makeBenchmarkApp(0, seconds(5));
+    spec.async.shows_dialog = true;
+
+    SystemOptions stock;
+    stock.mode = RuntimeChangeMode::Restart;
+    AndroidSystem stock_system(stock);
+    stock_system.install(spec);
+    stock_system.launch(spec);
+    stock_system.clickUpdateButton(spec);
+    stock_system.rotate();
+    stock_system.waitHandlingComplete();
+    stock_system.runFor(seconds(6));
+    ASSERT_TRUE(stock_system.threadFor(spec).crashed());
+    EXPECT_EQ(stock_system.threadFor(spec).crashInfo()->kind,
+              UiFailureKind::WindowLeaked);
+
+    SystemOptions rch;
+    rch.mode = RuntimeChangeMode::RchDroid;
+    AndroidSystem rch_system(rch);
+    rch_system.install(spec);
+    rch_system.launch(spec);
+    rch_system.clickUpdateButton(spec);
+    rch_system.rotate();
+    rch_system.waitHandlingComplete();
+    rch_system.runFor(seconds(6));
+    // The shadow instance is alive; the dialog shows without crashing.
+    EXPECT_FALSE(rch_system.threadFor(spec).crashed());
+    auto shadow = std::dynamic_pointer_cast<apps::SimulatedApp>(
+        rch_system.threadFor(spec).shadowActivity());
+    ASSERT_NE(shadow, nullptr);
+    EXPECT_EQ(shadow->dialogsShown(), 1);
+}
+
+TEST(CrashDetails, MultipleTasksAllMigrateUnderRchDroid)
+{
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::RchDroid;
+    AndroidSystem system(options);
+    const auto spec = apps::makeBenchmarkApp(8, seconds(5));
+    system.install(spec);
+    system.launch(spec);
+    // Two rapid clicks: two tasks in flight across the change.
+    system.clickUpdateButton(spec);
+    system.clickUpdateButton(spec);
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+    system.runFor(seconds(12));
+    EXPECT_FALSE(system.threadFor(spec).crashed());
+    auto foreground = system.foregroundApp(spec);
+    ASSERT_NE(foreground, nullptr);
+    EXPECT_TRUE(apps::imagesUpdatedByAsync(*foreground));
+}
+
+} // namespace
+} // namespace rchdroid::sim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Effectiveness properties over the full corpora (parameterised): every
+ * app's observed behaviour must match its Table 3 / Table 5 row — stock
+ * Android loses exactly the issue apps' state, RCHDroid fixes exactly
+ * the fixable ones.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/android_system.h"
+#include "view/text_view.h"
+
+namespace rchdroid::sim {
+namespace {
+
+apps::StateCheckResult
+observe(RuntimeChangeMode mode, const apps::AppSpec &spec)
+{
+    SystemOptions options;
+    options.mode = mode;
+    AndroidSystem system(options);
+    system.install(spec);
+    system.launch(spec);
+    system.applyUserState(spec);
+    system.wmSize(1080, 1920);
+    system.waitHandlingComplete();
+    system.runFor(seconds(1));
+    return system.verifyCriticalState(spec);
+}
+
+class Tp37Effectiveness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Tp37Effectiveness, MatchesTable3Row)
+{
+    const auto spec = apps::tp37()[static_cast<std::size_t>(GetParam())];
+    const auto stock = observe(RuntimeChangeMode::Restart, spec);
+    EXPECT_EQ(!stock.preserved, spec.expect_issue_stock)
+        << spec.name << " stock: " << stock.toString();
+    const auto rch = observe(RuntimeChangeMode::RchDroid, spec);
+    EXPECT_EQ(rch.preserved, spec.expect_fixed_by_rch)
+        << spec.name << " rch: " << rch.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTp37Apps, Tp37Effectiveness,
+                         ::testing::Range(0, 27),
+                         [](const ::testing::TestParamInfo<int> &info) {
+                             return apps::tp37()[static_cast<std::size_t>(
+                                                     info.param)]
+                                 .name;
+                         });
+
+/** A representative slice of the top-100 set (the full sweep runs in
+ *  bench_table5; here one app per issue class keeps ctest fast). */
+class Top100Effectiveness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Top100Effectiveness, MatchesTable5Row)
+{
+    const auto spec = apps::top100()[static_cast<std::size_t>(GetParam())];
+    const auto stock = observe(RuntimeChangeMode::Restart, spec);
+    EXPECT_EQ(!stock.preserved, spec.expect_issue_stock)
+        << spec.name << " stock: " << stock.toString();
+    if (spec.expect_issue_stock) {
+        const auto rch = observe(RuntimeChangeMode::RchDroid, spec);
+        EXPECT_EQ(rch.preserved, spec.expect_fixed_by_rch)
+            << spec.name << " rch: " << rch.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IssueClassSlice, Top100Effectiveness,
+    // Twitter (text box), Disney+ (scroll), Orbot (selection), KJVBible
+    // (timer), QR scanner (zoom bar), Target (check box), Filto
+    // (unfixable), Instagram (configChanges), Waze (default-safe),
+    // PowerCleaner (report page).
+    ::testing::Values(27, 8, 40, 87, 21, 96, 1, 3, 66, 45));
+
+TEST(Effectiveness, LocaleSwitchReresolvesResourcesAndKeepsState)
+{
+    // A language switch is a runtime change too (§1): the sunny
+    // instance must pick up the new locale's resources (the title
+    // string has a values-fr variant) while the user state migrates.
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::RchDroid;
+    AndroidSystem system(options);
+    const auto spec = apps::tp37()[15]; // OpenSudoku
+    system.install(spec);
+    system.launch(spec);
+    system.applyUserState(spec);
+
+    system.setLocale("fr-FR");
+    ASSERT_TRUE(system.waitHandlingComplete());
+    system.runFor(seconds(1));
+
+    auto foreground = system.foregroundApp(spec);
+    ASSERT_NE(foreground, nullptr);
+    EXPECT_EQ(foreground->findViewByIdAs<TextView>("title")->text(),
+              spec.name + " (fr)");
+    EXPECT_TRUE(system.verifyCriticalState(spec).preserved);
+}
+
+TEST(Effectiveness, ImplementedOnSaveFixesCustomStateOnBothSystems)
+{
+    // §5.2: "for the user-defined states, if app developers have
+    // implemented the onSaveInstanceState function, they will also be
+    // explicitly stored and restored". A disciplined DiskDiggerPro
+    // would have no issue on either system.
+    auto spec = apps::tp37()[8]; // DiskDiggerPro (CustomVariable)
+    ASSERT_EQ(spec.critical, apps::CriticalState::CustomVariable);
+    spec.implements_on_save = true;
+    const auto stock = observe(RuntimeChangeMode::Restart, spec);
+    EXPECT_TRUE(stock.preserved) << stock.toString();
+    const auto rch = observe(RuntimeChangeMode::RchDroid, spec);
+    EXPECT_TRUE(rch.preserved) << rch.toString();
+}
+
+TEST(Effectiveness, Fig13ExamplesReproduce)
+{
+    // Fig. 13's four showcase apps, by their table rows.
+    const auto corpus = apps::top100();
+    for (const char *name :
+         {"Twitter", "Disney+", "KJVBible", "Orbot"}) {
+        const auto it = std::find_if(
+            corpus.begin(), corpus.end(),
+            [name](const auto &spec) { return spec.name == name; });
+        ASSERT_NE(it, corpus.end()) << name;
+        const auto stock = observe(RuntimeChangeMode::Restart, *it);
+        EXPECT_FALSE(stock.preserved) << name;
+        const auto rch = observe(RuntimeChangeMode::RchDroid, *it);
+        EXPECT_TRUE(rch.preserved) << name;
+    }
+}
+
+} // namespace
+} // namespace rchdroid::sim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Multi-app behaviour: task switching stops the outgoing foreground,
+ * releases its shadow instance immediately (§3.5), and the system-wide
+ * "at most one shadow" invariant holds.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/android_system.h"
+
+namespace rchdroid::sim {
+namespace {
+
+struct MultiAppFixture : ::testing::Test
+{
+    MultiAppFixture()
+    {
+        SystemOptions options;
+        options.mode = RuntimeChangeMode::RchDroid;
+        system = std::make_unique<AndroidSystem>(options);
+        app_a = apps::makeBenchmarkApp(4);
+        app_b = apps::tp37()[0]; // AlarmClockPlus
+        system->install(app_a);
+        system->install(app_b);
+    }
+
+    /** Count shadow instances across every installed process. */
+    int
+    totalShadowInstances()
+    {
+        int n = 0;
+        n += system->threadFor(app_a).shadowActivity() != nullptr;
+        n += system->threadFor(app_b).shadowActivity() != nullptr;
+        return n;
+    }
+
+    std::unique_ptr<AndroidSystem> system;
+    apps::AppSpec app_a, app_b;
+};
+
+TEST_F(MultiAppFixture, SecondLaunchStopsFirstApp)
+{
+    system->launch(app_a);
+    auto a_fg = system->foregroundApp(app_a);
+    ASSERT_NE(a_fg, nullptr);
+
+    system->launch(app_b);
+    system->runFor(seconds(1));
+    EXPECT_EQ(a_fg->lifecycleState(), LifecycleState::Stopped);
+    auto b_fg = system->foregroundApp(app_b);
+    ASSERT_NE(b_fg, nullptr);
+    EXPECT_TRUE(isForeground(b_fg->lifecycleState()));
+    EXPECT_EQ(system->atms().foregroundToken(), b_fg->token());
+}
+
+TEST_F(MultiAppFixture, SwitchBackResumesStoppedActivity)
+{
+    system->launch(app_a);
+    system->launch(app_b);
+    system->runFor(seconds(1));
+    system->launch(app_a); // back to A
+    system->runFor(seconds(1));
+    auto a_fg = system->foregroundApp(app_a);
+    ASSERT_NE(a_fg, nullptr);
+    EXPECT_EQ(a_fg->lifecycleState(), LifecycleState::Resumed);
+    // B was stopped in turn.
+    auto b_fg = system->threadFor(app_b).activityForToken(
+        system->installed(app_b).thread->activityForToken(0) ? 0 : 0);
+    (void)b_fg;
+    EXPECT_EQ(system->atms().recordFor(system->atms().foregroundToken())
+                  ->process(),
+              app_a.process());
+}
+
+TEST_F(MultiAppFixture, TaskSwitchReleasesShadowImmediately)
+{
+    system->launch(app_a);
+    system->rotate();
+    ASSERT_TRUE(system->waitHandlingComplete());
+    ASSERT_NE(system->threadFor(app_a).shadowActivity(), nullptr);
+
+    // Switching to app B must release A's shadow instance at once —
+    // no waiting for the threshold GC.
+    system->launch(app_b);
+    system->runFor(seconds(1));
+    EXPECT_EQ(system->threadFor(app_a).shadowActivity(), nullptr);
+    EXPECT_EQ(totalShadowInstances(), 0);
+}
+
+TEST_F(MultiAppFixture, AtMostOneShadowSystemWide)
+{
+    system->launch(app_a);
+    system->rotate();
+    ASSERT_TRUE(system->waitHandlingComplete());
+    EXPECT_EQ(totalShadowInstances(), 1);
+
+    system->launch(app_b);
+    system->runFor(seconds(1));
+    system->rotate(); // B is foreground now; B gets the shadow
+    ASSERT_TRUE(system->waitHandlingComplete());
+    EXPECT_EQ(totalShadowInstances(), 1);
+    EXPECT_NE(system->threadFor(app_b).shadowActivity(), nullptr);
+    EXPECT_EQ(system->threadFor(app_a).shadowActivity(), nullptr);
+}
+
+TEST_F(MultiAppFixture, ChangesOnlyAffectTheForegroundApp)
+{
+    system->launch(app_a);
+    system->applyUserState(app_a);
+    system->launch(app_b);
+    system->runFor(seconds(1));
+    auto a_instance = system->foregroundApp(app_a) // none: stopped
+                          ? system->foregroundApp(app_a)
+                          : nullptr;
+    EXPECT_EQ(a_instance, nullptr);
+
+    system->rotate(); // handled by B
+    ASSERT_TRUE(system->waitHandlingComplete());
+    // A's instance was not relaunched/flipped: it is still Stopped with
+    // its views intact.
+    EXPECT_EQ(system->threadFor(app_a).liveActivityCount(), 1u);
+    system->launch(app_a);
+    system->runFor(seconds(1));
+    EXPECT_TRUE(system->verifyCriticalState(app_a).preserved);
+}
+
+} // namespace
+} // namespace rchdroid::sim

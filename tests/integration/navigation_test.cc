@@ -1,0 +1,188 @@
+/**
+ * @file
+ * In-app navigation: a two-screen app (list → detail) under both
+ * handling modes — back-stack semantics, runtime changes on the detail
+ * screen, and the shadow-release rules when navigating.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/android_system.h"
+#include "view/text_view.h"
+#include "view/view_group.h"
+
+namespace rchdroid::sim {
+namespace {
+
+constexpr const char *kProcess = "com.example.mail";
+constexpr const char *kInbox = "com.example.mail/.InboxActivity";
+constexpr const char *kDetail = "com.example.mail/.DetailActivity";
+
+class InboxActivity final : public Activity
+{
+  public:
+    InboxActivity() : Activity(kInbox) {}
+
+  protected:
+    void
+    onCreate(const Bundle *) override
+    {
+        auto root = std::make_unique<LinearLayout>(
+            "root", LinearLayout::Direction::Vertical);
+        root->addChild(std::make_unique<EditText>("search"));
+        setContentView(std::move(root));
+    }
+};
+
+class DetailActivity final : public Activity
+{
+  public:
+    DetailActivity() : Activity(kDetail) {}
+
+  protected:
+    void
+    onCreate(const Bundle *) override
+    {
+        auto root = std::make_unique<LinearLayout>(
+            "root", LinearLayout::Direction::Vertical);
+        auto subject = std::make_unique<TextView>("subject");
+        subject->setText("(loading)");
+        root->addChild(std::move(subject));
+        setContentView(std::move(root));
+    }
+};
+
+struct NavigationFixture : ::testing::TestWithParam<RuntimeChangeMode>
+{
+    NavigationFixture()
+    {
+        SystemOptions options;
+        options.mode = GetParam();
+        system = std::make_unique<AndroidSystem>(options);
+        CustomAppParams params;
+        params.process = kProcess;
+        params.component = kInbox;
+        params.factory = [] { return std::make_unique<InboxActivity>(); };
+        system->installCustom(params);
+        system->declareExtraComponent(kProcess, kDetail, [] {
+            return std::make_unique<DetailActivity>();
+        });
+        system->launchProcess(kProcess);
+    }
+
+    std::shared_ptr<Activity>
+    foreground()
+    {
+        return system->foregroundActivityOf(kProcess);
+    }
+
+    void
+    openDetail()
+    {
+        auto inbox = foreground();
+        system->installedProcess(kProcess).thread->postAppCallback(
+            [inbox] { inbox->startActivity(kDetail); });
+        system->runFor(seconds(1));
+    }
+
+    std::unique_ptr<AndroidSystem> system;
+};
+
+TEST_P(NavigationFixture, NavigateStopsInboxAndShowsDetail)
+{
+    auto inbox = foreground();
+    openDetail();
+    auto detail = foreground();
+    ASSERT_NE(detail, nullptr);
+    EXPECT_EQ(detail->component(), kDetail);
+    EXPECT_EQ(inbox->lifecycleState(), LifecycleState::Stopped);
+    EXPECT_EQ(system->atms().stack().topTask()->depth(), 2u);
+}
+
+TEST_P(NavigationFixture, BackDestroysDetailAndResumesInbox)
+{
+    auto inbox = foreground();
+    openDetail();
+    auto detail = foreground();
+    system->pressBack();
+    system->runFor(seconds(1));
+    EXPECT_TRUE(detail->isDestroyed());
+    EXPECT_EQ(foreground(), inbox);
+    EXPECT_EQ(inbox->lifecycleState(), LifecycleState::Resumed);
+    EXPECT_EQ(system->atms().stack().topTask()->depth(), 1u);
+}
+
+TEST_P(NavigationFixture, InboxStateSurvivesTheRoundTrip)
+{
+    auto inbox = foreground();
+    system->installedProcess(kProcess).thread->postAppCallback([inbox] {
+        inbox->findViewByIdAs<EditText>("search")->typeText("invoices");
+    });
+    system->runFor(milliseconds(10));
+    openDetail();
+    system->pressBack();
+    system->runFor(seconds(1));
+    EXPECT_EQ(foreground()->findViewByIdAs<EditText>("search")->text(),
+              "invoices");
+}
+
+TEST_P(NavigationFixture, RuntimeChangeAppliesToDetailScreen)
+{
+    openDetail();
+    system->rotate();
+    ASSERT_TRUE(system->waitHandlingComplete());
+    auto detail = foreground();
+    ASSERT_NE(detail, nullptr);
+    EXPECT_EQ(detail->component(), kDetail);
+    EXPECT_EQ(detail->configuration().orientation, Orientation::Portrait);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, NavigationFixture,
+                         ::testing::Values(RuntimeChangeMode::Restart,
+                                           RuntimeChangeMode::RchDroid),
+                         [](const auto &info) {
+                             return std::string(
+                                 runtimeChangeModeName(info.param)) ==
+                                        "Android-10"
+                                 ? "Stock"
+                                 : "RchDroid";
+                         });
+
+TEST(NavigationRch, NavigatingAwayReleasesDetailShadow)
+{
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::RchDroid;
+    AndroidSystem system(options);
+    CustomAppParams params;
+    params.process = kProcess;
+    params.component = kInbox;
+    params.factory = [] { return std::make_unique<InboxActivity>(); };
+    system.installCustom(params);
+    system.declareExtraComponent(kProcess, kDetail, [] {
+        return std::make_unique<DetailActivity>();
+    });
+    system.launchProcess(kProcess);
+
+    auto inbox = system.foregroundActivityOf(kProcess);
+    system.installedProcess(kProcess).thread->postAppCallback(
+        [inbox] { inbox->startActivity(kDetail); });
+    system.runFor(seconds(1));
+
+    // Rotate on the detail screen: detail gets a shadow pair.
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+    auto &thread = *system.installedProcess(kProcess).thread;
+    ASSERT_NE(thread.shadowActivity(), nullptr);
+
+    // Back to the inbox: the detail pair is torn down — shadow included,
+    // immediately (§3.5), and the shadow record left the ATMS.
+    system.pressBack();
+    system.runFor(seconds(1));
+    EXPECT_EQ(thread.shadowActivity(), nullptr);
+    auto fg = system.foregroundActivityOf(kProcess);
+    ASSERT_NE(fg, nullptr);
+    EXPECT_EQ(fg->component(), kInbox);
+    EXPECT_EQ(system.atms().stack().topTask()->depth(), 1u);
+}
+
+} // namespace
+} // namespace rchdroid::sim

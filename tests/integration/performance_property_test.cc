@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Performance invariants of the paper's evaluation, as properties over
+ * a parameterised view-count sweep:
+ *   flip < Android-10 restart < RCHDroid-init (per view count),
+ *   flip is near-flat in view count,
+ *   init and migration grow linearly,
+ *   results are bit-deterministic across runs.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/android_system.h"
+
+namespace rchdroid::sim {
+namespace {
+
+struct Timings
+{
+    double init_ms = 0;
+    double flip_ms = 0;
+    double restart_ms = 0;
+};
+
+Timings
+measure(int views)
+{
+    Timings out;
+    {
+        SystemOptions options;
+        options.mode = RuntimeChangeMode::RchDroid;
+        AndroidSystem system(options);
+        const auto spec = apps::makeBenchmarkApp(views);
+        system.install(spec);
+        system.launch(spec);
+        system.rotate();
+        EXPECT_TRUE(system.waitHandlingComplete());
+        out.init_ms = system.lastHandlingMs();
+        system.runFor(seconds(1));
+        system.rotate();
+        EXPECT_TRUE(system.waitHandlingComplete());
+        out.flip_ms = system.lastHandlingMs();
+    }
+    {
+        SystemOptions options;
+        options.mode = RuntimeChangeMode::Restart;
+        AndroidSystem system(options);
+        const auto spec = apps::makeBenchmarkApp(views);
+        system.install(spec);
+        system.launch(spec);
+        system.rotate();
+        EXPECT_TRUE(system.waitHandlingComplete());
+        out.restart_ms = system.lastHandlingMs();
+    }
+    return out;
+}
+
+class HandlingOrder : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HandlingOrder, FlipBeatsRestartBeatsInit)
+{
+    const Timings t = measure(GetParam());
+    EXPECT_GT(t.flip_ms, 0.0);
+    EXPECT_LT(t.flip_ms, t.restart_ms);
+    EXPECT_GT(t.init_ms, t.restart_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(ViewSweep, HandlingOrder,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(HandlingShape, FlipNearFlatInitLinear)
+{
+    const Timings small = measure(1);
+    const Timings large = measure(32);
+    // Fig. 10(a): flip "remains unchanged" — under 10% growth across
+    // the sweep; init grows markedly more.
+    EXPECT_LT(large.flip_ms / small.flip_ms, 1.10);
+    EXPECT_GT(large.init_ms - small.init_ms, 15.0);
+    // Android-10 stays comparatively flat too.
+    EXPECT_LT(large.restart_ms / small.restart_ms, 1.15);
+}
+
+TEST(HandlingShape, InitSlopeIsLinearNotQuadratic)
+{
+    const Timings t8 = measure(8);
+    const Timings t16 = measure(16);
+    const Timings t32 = measure(32);
+    const double slope_a = (t16.init_ms - t8.init_ms) / 8.0;
+    const double slope_b = (t32.init_ms - t16.init_ms) / 16.0;
+    // O(n) mapping: per-view slope stays constant within 25%.
+    EXPECT_NEAR(slope_a, slope_b, 0.25 * slope_a);
+}
+
+TEST(Determinism, RepeatedRunsAreBitIdentical)
+{
+    const Timings a = measure(4);
+    const Timings b = measure(4);
+    EXPECT_DOUBLE_EQ(a.init_ms, b.init_ms);
+    EXPECT_DOUBLE_EQ(a.flip_ms, b.flip_ms);
+    EXPECT_DOUBLE_EQ(a.restart_ms, b.restart_ms);
+}
+
+TEST(PaperAnchors, Fig10Calibration)
+{
+    // The headline anchors, with slack for roundoff: flip ≈ 89.2 ms,
+    // restart ≈ 141.8 ms (mid-sweep), init(1) ≈ 154.6 ms.
+    const Timings t1 = measure(1);
+    EXPECT_NEAR(t1.flip_ms, 89.2, 3.0);
+    EXPECT_NEAR(t1.init_ms, 154.6, 4.0);
+    const Timings t4 = measure(4);
+    EXPECT_NEAR(t4.restart_ms, 141.8, 5.0);
+}
+
+TEST(MemoryProperty, ShadowAddsBoundedOverhead)
+{
+    const auto spec = apps::makeBenchmarkApp(8);
+    auto heap_after_change = [&](RuntimeChangeMode mode) {
+        SystemOptions options;
+        options.mode = mode;
+        AndroidSystem system(options);
+        system.install(spec);
+        system.launch(spec);
+        system.rotate();
+        system.waitHandlingComplete();
+        system.runFor(seconds(1));
+        return system.appHeapBytes(spec);
+    };
+    const auto stock = heap_after_change(RuntimeChangeMode::Restart);
+    const auto rch = heap_after_change(RuntimeChangeMode::RchDroid);
+    EXPECT_GT(rch, stock);          // the shadow instance is resident
+    EXPECT_LT(rch, stock * 2);      // but far from doubling the process
+}
+
+TEST(EnergyProperty, SteadyPowerEqualAcrossModes)
+{
+    const auto spec = apps::makeBenchmarkApp(8);
+    auto steady_power = [&](RuntimeChangeMode mode) {
+        SystemOptions options;
+        options.mode = mode;
+        AndroidSystem system(options);
+        system.install(spec);
+        system.launch(spec);
+        system.rotate();
+        system.waitHandlingComplete();
+        const SimTime from = system.scheduler().now();
+        system.runFor(seconds(20));
+        return system.energy().averagePowerWatts(system.cpuTracker(), from,
+                                                 system.scheduler().now());
+    };
+    EXPECT_NEAR(steady_power(RuntimeChangeMode::Restart),
+                steady_power(RuntimeChangeMode::RchDroid), 0.02);
+}
+
+} // namespace
+} // namespace rchdroid::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Soak test: one virtual hour of mixed workload under RCHDroid. The
+ * invariants that must hold over the long run:
+ *   - the app never crashes and its critical state survives throughout,
+ *   - process heap stays bounded (no accumulation from the shadow
+ *     machinery, snapshots, or the GC cycle),
+ *   - the handler's counters reconcile (every runtime change was served
+ *     by exactly one init launch or one coin flip),
+ *   - the ATMS never holds more than the live pair of records.
+ */
+#include <gtest/gtest.h>
+
+#include "platform/rng.h"
+#include "sim/android_system.h"
+
+namespace rchdroid::sim {
+namespace {
+
+TEST(Soak, OneVirtualHourOfMixedUse)
+{
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::RchDroid;
+    AndroidSystem system(options);
+    auto spec = apps::makeBenchmarkApp(8, seconds(2));
+    spec.critical = apps::CriticalState::EditTextWithId;
+    spec.n_edit_texts = 1;
+    system.install(spec);
+    system.launch(spec);
+    system.applyUserState(spec);
+
+    Rng rng(0x50a0);
+    const SimTime end = system.scheduler().now() + minutes(60);
+    std::size_t peak_heap = 0;
+    int changes = 0;
+    while (system.scheduler().now() < end) {
+        // A burst of activity, then an idle stretch long enough for the
+        // GC to reclaim (exercising both steady flips and re-inits).
+        const int burst = static_cast<int>(rng.nextInt(1, 4));
+        for (int i = 0; i < burst; ++i) {
+            if (rng.nextBool(0.3))
+                system.clickUpdateButton(spec);
+            system.rotate();
+            ASSERT_TRUE(system.waitHandlingComplete()) << "change " << changes;
+            ++changes;
+            system.runFor(seconds(rng.nextInt(2, 12)));
+        }
+        system.runFor(seconds(rng.nextInt(30, 120)));
+        peak_heap = std::max(peak_heap, system.appHeapBytes(spec));
+
+        ASSERT_FALSE(system.threadFor(spec).crashed());
+        EXPECT_TRUE(system.verifyCriticalState(spec).preserved)
+            << "after change " << changes;
+        // Never more than the foreground + one shadow record.
+        EXPECT_LE(system.atms().recordCount(), 2u);
+        EXPECT_LE(system.threadFor(spec).liveActivityCount(), 2u);
+    }
+
+    EXPECT_GT(changes, 30);
+    // Heap bound: base + two instances + slack. No unbounded growth.
+    EXPECT_LT(peak_heap, spec.base_heap_bytes + (16u << 20));
+
+    const auto &stats = system.installed(spec).handler->stats();
+    EXPECT_EQ(stats.runtime_changes,
+              static_cast<std::uint64_t>(changes));
+    EXPECT_EQ(stats.init_launches + stats.flips, stats.runtime_changes);
+    // GC fired during the idle stretches and the system recovered.
+    EXPECT_GT(stats.gc_collections, 0u);
+    EXPECT_EQ(system.atms().starterStats().coin_flips, stats.flips);
+    EXPECT_EQ(system.atms().starterStats().sunny_creates,
+              stats.init_launches);
+}
+
+} // namespace
+} // namespace rchdroid::sim

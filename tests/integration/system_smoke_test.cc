@@ -1,0 +1,148 @@
+/**
+ * @file
+ * End-to-end smoke tests: the full simulated device handles a runtime
+ * change on both systems, reproducing the paper's headline behaviours —
+ * the stock crash of Fig. 1(a) and RCHDroid's transparent handling of
+ * Fig. 1(b).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/android_system.h"
+
+namespace rchdroid::sim {
+namespace {
+
+using apps::makeBenchmarkApp;
+
+SystemOptions
+stockOptions()
+{
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::Restart;
+    return options;
+}
+
+SystemOptions
+rchOptions()
+{
+    SystemOptions options;
+    options.mode = RuntimeChangeMode::RchDroid;
+    return options;
+}
+
+TEST(SystemSmoke, StockLaunchAndRotateCompletes)
+{
+    AndroidSystem system(stockOptions());
+    const auto spec = makeBenchmarkApp(4);
+    system.install(spec);
+    system.launch(spec);
+
+    auto foreground = system.foregroundApp(spec);
+    ASSERT_NE(foreground, nullptr);
+    EXPECT_EQ(foreground->lifecycleState(), LifecycleState::Resumed);
+
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+    EXPECT_GT(system.lastHandlingMs(), 0.0);
+
+    // A restart replaced the instance; the board boots landscape, so a
+    // rotation lands in portrait.
+    auto after = system.foregroundApp(spec);
+    ASSERT_NE(after, nullptr);
+    EXPECT_NE(after->instanceId(), foreground->instanceId());
+    EXPECT_EQ(after->configuration().orientation, Orientation::Portrait);
+}
+
+TEST(SystemSmoke, StockAsyncReturnAfterRestartCrashes)
+{
+    AndroidSystem system(stockOptions());
+    const auto spec = makeBenchmarkApp(4, /*async_duration=*/seconds(5));
+    system.install(spec);
+    system.launch(spec);
+
+    // Fig. 1(a): start the async task, rotate while it runs, crash on
+    // its return.
+    system.clickUpdateButton(spec);
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+    EXPECT_FALSE(system.threadFor(spec).crashed());
+
+    system.runFor(seconds(6));
+    EXPECT_TRUE(system.threadFor(spec).crashed());
+    EXPECT_TRUE(system.trace().sawCrash());
+    EXPECT_EQ(system.threadFor(spec).crashInfo()->kind,
+              UiFailureKind::NullPointer);
+    // Process death: heap accounted as zero, like Fig. 9's drop.
+    EXPECT_EQ(system.appHeapBytes(spec), 0u);
+}
+
+TEST(SystemSmoke, RchDroidAsyncReturnMigratesInsteadOfCrashing)
+{
+    AndroidSystem system(rchOptions());
+    const auto spec = makeBenchmarkApp(4, /*async_duration=*/seconds(5));
+    system.install(spec);
+    system.launch(spec);
+
+    auto original = system.foregroundApp(spec);
+    ASSERT_NE(original, nullptr);
+
+    system.clickUpdateButton(spec);
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+
+    // The old instance went shadow; a sunny instance is foreground.
+    auto sunny = system.foregroundApp(spec);
+    ASSERT_NE(sunny, nullptr);
+    EXPECT_NE(sunny->instanceId(), original->instanceId());
+    EXPECT_TRUE(sunny->isSunny());
+    EXPECT_TRUE(original->isShadow());
+
+    system.runFor(seconds(6));
+    EXPECT_FALSE(system.threadFor(spec).crashed());
+    // Lazy migration carried the async image updates to the sunny tree.
+    EXPECT_TRUE(apps::imagesUpdatedByAsync(*sunny));
+
+    const auto &stats = system.installed(spec).handler->stats();
+    EXPECT_EQ(stats.init_launches, 1u);
+    EXPECT_GE(stats.views_migrated, 4u);
+}
+
+TEST(SystemSmoke, RchDroidSecondChangeCoinFlips)
+{
+    AndroidSystem system(rchOptions());
+    const auto spec = makeBenchmarkApp(4);
+    system.install(spec);
+    system.launch(spec);
+
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+    const double init_ms = system.lastHandlingMs();
+
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+    const double flip_ms = system.lastHandlingMs();
+
+    EXPECT_EQ(system.atms().starterStats().coin_flips, 1u);
+    EXPECT_EQ(system.atms().starterStats().sunny_creates, 1u);
+    // The flip path is faster than creating a sunny instance.
+    EXPECT_LT(flip_ms, init_ms);
+}
+
+TEST(SystemSmoke, ConfigChangesDeclaredAppNeverRestarts)
+{
+    AndroidSystem system(stockOptions());
+    auto spec = makeBenchmarkApp(4);
+    spec.handles_config_changes = true;
+    system.install(spec);
+    system.launch(spec);
+
+    auto before = system.foregroundApp(spec);
+    system.rotate();
+    ASSERT_TRUE(system.waitHandlingComplete());
+    auto after = system.foregroundApp(spec);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->instanceId(), before->instanceId());
+}
+
+} // namespace
+} // namespace rchdroid::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Handler: posting façade and selective removal semantics.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/handler.h"
+
+namespace rchdroid {
+namespace {
+
+struct HandlerFixture : ::testing::Test
+{
+    SimScheduler scheduler;
+    Looper looper{scheduler, "t"};
+    Handler handler{looper, "h"};
+};
+
+TEST_F(HandlerFixture, PostRunsImmediately)
+{
+    int ran = 0;
+    handler.post([&] { ++ran; });
+    scheduler.runUntilIdle();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST_F(HandlerFixture, PostDelayedHonoursDelay)
+{
+    SimTime at = -1;
+    handler.postDelayed([&] { at = scheduler.now(); }, milliseconds(25));
+    scheduler.runUntilIdle();
+    EXPECT_EQ(at, milliseconds(25));
+}
+
+TEST_F(HandlerFixture, RemoveMessagesByWhat)
+{
+    int ran = 0;
+    handler.sendMessage(1, [&] { ran += 1; }, milliseconds(5));
+    handler.sendMessage(2, [&] { ran += 10; }, milliseconds(5));
+    EXPECT_EQ(handler.removeMessages(1), 1u);
+    scheduler.runUntilIdle();
+    EXPECT_EQ(ran, 10);
+}
+
+TEST_F(HandlerFixture, RemoveCallbacksAndMessagesDropsAllOwn)
+{
+    Handler other(looper, "other");
+    int ran = 0;
+    handler.post([&] { ran += 1; });
+    handler.sendMessage(3, [&] { ran += 10; }, milliseconds(1));
+    other.post([&] { ran += 100; });
+    EXPECT_EQ(handler.removeCallbacksAndMessages(), 2u);
+    scheduler.runUntilIdle();
+    EXPECT_EQ(ran, 100);
+}
+
+TEST_F(HandlerFixture, TwoHandlersShareOneLooperSerially)
+{
+    Handler other(looper, "other");
+    std::vector<int> order;
+    handler.post([&] { order.push_back(1); }, milliseconds(2), "a");
+    other.post([&] { order.push_back(2); });
+    scheduler.runUntilIdle();
+    // handler's message carries cost 2ms and was enqueued first.
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * IpcChannel / IpcLatencyModel: the modelled binder.
+ */
+#include <gtest/gtest.h>
+
+#include "os/ipc.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(IpcLatencyModel, FixedPlusPerKib)
+{
+    IpcLatencyModel model;
+    model.base_latency = microseconds(100);
+    model.per_kib = microseconds(10);
+    EXPECT_EQ(model.oneWay(0), microseconds(100));
+    EXPECT_EQ(model.oneWay(1), microseconds(110));    // rounds up to 1 KiB
+    EXPECT_EQ(model.oneWay(1024), microseconds(110));
+    EXPECT_EQ(model.oneWay(1025), microseconds(120));
+    EXPECT_EQ(model.oneWay(4096), microseconds(140));
+}
+
+TEST(IpcChannel, DeliversAfterLatency)
+{
+    SimScheduler scheduler;
+    Looper dest(scheduler, "dest");
+    IpcLatencyModel model;
+    model.base_latency = milliseconds(2);
+    IpcChannel channel(dest, model, "a->b");
+
+    SimTime delivered_at = -1;
+    channel.call([&] { delivered_at = scheduler.now(); });
+    scheduler.runUntilIdle();
+    EXPECT_EQ(delivered_at, milliseconds(2));
+    EXPECT_EQ(channel.transactionCount(), 1u);
+}
+
+TEST(IpcChannel, PayloadAddsWireTime)
+{
+    SimScheduler scheduler;
+    Looper dest(scheduler, "dest");
+    IpcLatencyModel model;
+    model.base_latency = milliseconds(1);
+    model.per_kib = microseconds(500);
+    IpcChannel channel(dest, model, "a->b");
+
+    SimTime delivered_at = -1;
+    channel.call([&] { delivered_at = scheduler.now(); }, 2048);
+    scheduler.runUntilIdle();
+    EXPECT_EQ(delivered_at, milliseconds(2));
+}
+
+TEST(IpcChannel, HandlerCostOccupiesDestination)
+{
+    SimScheduler scheduler;
+    Looper dest(scheduler, "dest");
+    IpcChannel channel(dest, IpcLatencyModel{}, "a->b");
+
+    SimTime second_at = -1;
+    channel.call([] {}, 0, milliseconds(10), "heavy");
+    channel.call([&] { second_at = scheduler.now(); });
+    scheduler.runUntilIdle();
+    // The second transaction waits for the first handler's cost.
+    EXPECT_EQ(second_at, milliseconds(10));
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * MessageQueue: ordering and selective removal.
+ */
+#include <gtest/gtest.h>
+
+#include "os/message_queue.h"
+
+namespace rchdroid {
+namespace {
+
+Message
+msg(SimTime when, int what = 0, const void *token = nullptr)
+{
+    Message m;
+    m.callback = [] {};
+    m.when = when;
+    m.what = what;
+    m.token = token;
+    return m;
+}
+
+TEST(MessageQueue, OrdersByWhen)
+{
+    MessageQueue queue;
+    queue.enqueue(msg(30));
+    queue.enqueue(msg(10));
+    queue.enqueue(msg(20));
+    EXPECT_EQ(queue.nextWhen(), std::optional<SimTime>(10));
+    EXPECT_EQ(queue.popFront()->when, 10);
+    EXPECT_EQ(queue.popFront()->when, 20);
+    EXPECT_EQ(queue.popFront()->when, 30);
+}
+
+TEST(MessageQueue, FifoAmongEqualWhen)
+{
+    MessageQueue queue;
+    queue.enqueue(msg(5, 1));
+    queue.enqueue(msg(5, 2));
+    queue.enqueue(msg(5, 3));
+    EXPECT_EQ(queue.popFront()->what, 1);
+    EXPECT_EQ(queue.popFront()->what, 2);
+    EXPECT_EQ(queue.popFront()->what, 3);
+}
+
+TEST(MessageQueue, PopDueRespectsTime)
+{
+    MessageQueue queue;
+    queue.enqueue(msg(100));
+    EXPECT_FALSE(queue.popDue(50).has_value());
+    EXPECT_TRUE(queue.popDue(100).has_value());
+}
+
+TEST(MessageQueue, EmptyBehaviour)
+{
+    MessageQueue queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(queue.nextWhen().has_value());
+    EXPECT_FALSE(queue.popFront().has_value());
+    EXPECT_FALSE(queue.popDue(1000).has_value());
+}
+
+TEST(MessageQueue, RemoveByToken)
+{
+    MessageQueue queue;
+    int a = 0, b = 0;
+    queue.enqueue(msg(1, 0, &a));
+    queue.enqueue(msg(2, 0, &b));
+    queue.enqueue(msg(3, 0, &a));
+    EXPECT_EQ(queue.removeByToken(&a), 2u);
+    EXPECT_EQ(queue.size(), 1u);
+    EXPECT_EQ(queue.popFront()->token, &b);
+}
+
+TEST(MessageQueue, RemoveByWhatIsTokenScoped)
+{
+    MessageQueue queue;
+    int a = 0, b = 0;
+    queue.enqueue(msg(1, 7, &a));
+    queue.enqueue(msg(2, 7, &b));
+    queue.enqueue(msg(3, 8, &a));
+    EXPECT_EQ(queue.removeByWhat(&a, 7), 1u);
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(MessageQueue, OrderStableAfterRemoval)
+{
+    MessageQueue queue;
+    int tok = 0;
+    queue.enqueue(msg(1, 1));
+    queue.enqueue(msg(2, 2, &tok));
+    queue.enqueue(msg(3, 3));
+    queue.removeByToken(&tok);
+    EXPECT_EQ(queue.popFront()->what, 1);
+    EXPECT_EQ(queue.popFront()->what, 3);
+}
+
+TEST(MessageQueueDeath, NullCallbackPanics)
+{
+    MessageQueue queue;
+    Message bad;
+    bad.when = 1;
+    EXPECT_DEATH(queue.enqueue(std::move(bad)), "without callback");
+}
+
+} // namespace
+} // namespace rchdroid

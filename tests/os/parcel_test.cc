@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parcel: wire format round trips and truncation safety.
+ */
+#include <gtest/gtest.h>
+
+#include "os/bundle.h"
+#include "os/parcel.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(Parcel, PrimitiveRoundTrip)
+{
+    Parcel parcel;
+    parcel.writeInt32(-5);
+    parcel.writeInt64(1LL << 40);
+    parcel.writeDouble(3.25);
+    parcel.writeBool(true);
+    parcel.writeString("str");
+
+    EXPECT_EQ(parcel.readInt32().value(), -5);
+    EXPECT_EQ(parcel.readInt64().value(), 1LL << 40);
+    EXPECT_DOUBLE_EQ(parcel.readDouble().value(), 3.25);
+    EXPECT_TRUE(parcel.readBool().value());
+    EXPECT_EQ(parcel.readString().value(), "str");
+    EXPECT_EQ(parcel.remaining(), 0u);
+}
+
+TEST(Parcel, TruncatedReadsFail)
+{
+    Parcel parcel;
+    parcel.writeInt32(1);
+    EXPECT_TRUE(parcel.readInt32());
+    EXPECT_FALSE(parcel.readInt32());
+    EXPECT_FALSE(parcel.readString());
+}
+
+TEST(Parcel, RewindRereads)
+{
+    Parcel parcel;
+    parcel.writeInt32(99);
+    EXPECT_EQ(parcel.readInt32().value(), 99);
+    parcel.rewind();
+    EXPECT_EQ(parcel.readInt32().value(), 99);
+}
+
+TEST(Parcel, EmptyBundleRoundTrip)
+{
+    const auto copy = roundTripBundle(Bundle{});
+    ASSERT_TRUE(copy.isOk());
+    EXPECT_TRUE(copy.value().empty());
+}
+
+TEST(Parcel, RichBundleRoundTrip)
+{
+    Bundle bundle;
+    bundle.putInt("i", 7);
+    bundle.putDouble("d", -1.5);
+    bundle.putBool("b", false);
+    bundle.putString("s", std::string("text with \0 binary", 18));
+    bundle.putIntVector("iv", {10, 20});
+    bundle.putStringVector("sv", {"x", "", "z"});
+    Bundle nested;
+    nested.putString("k", "v");
+    bundle.putBundle("n", nested);
+
+    const auto copy = roundTripBundle(bundle);
+    ASSERT_TRUE(copy.isOk());
+    EXPECT_TRUE(copy.value() == bundle);
+}
+
+TEST(Parcel, ParcelledSizeMatchesWrittenBytes)
+{
+    Bundle bundle;
+    bundle.putString("key", "value");
+    Parcel parcel;
+    parcel.writeBundle(bundle);
+    EXPECT_EQ(parcelledSize(bundle), parcel.sizeBytes());
+    EXPECT_GT(parcelledSize(bundle), 0u);
+}
+
+TEST(Parcel, CorruptTagRejected)
+{
+    Parcel parcel;
+    parcel.writeInt32(1);          // one entry
+    parcel.writeString("key");
+    parcel.writeInt32(999);        // bogus wire tag
+    const auto result = parcel.readBundle();
+    EXPECT_FALSE(result.isOk());
+}
+
+} // namespace
+} // namespace rchdroid

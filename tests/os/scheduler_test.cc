@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SimScheduler: ordering, cancellation, time discipline.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/scheduler.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder)
+{
+    SimScheduler scheduler;
+    std::vector<int> order;
+    scheduler.schedule(milliseconds(30), [&] { order.push_back(3); });
+    scheduler.schedule(milliseconds(10), [&] { order.push_back(1); });
+    scheduler.schedule(milliseconds(20), [&] { order.push_back(2); });
+    scheduler.runUntilIdle();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(scheduler.now(), milliseconds(30));
+}
+
+TEST(Scheduler, FifoAmongEqualTimes)
+{
+    SimScheduler scheduler;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        scheduler.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+    scheduler.runUntilIdle();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RunUntilStopsAtLimitAndAdvancesClock)
+{
+    SimScheduler scheduler;
+    int ran = 0;
+    scheduler.schedule(milliseconds(10), [&] { ++ran; });
+    scheduler.schedule(milliseconds(50), [&] { ++ran; });
+    scheduler.runUntil(milliseconds(20));
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(scheduler.now(), milliseconds(20));
+    scheduler.runUntilIdle();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents)
+{
+    SimScheduler scheduler;
+    std::vector<SimTime> times;
+    scheduler.schedule(milliseconds(1), [&] {
+        times.push_back(scheduler.now());
+        scheduler.schedule(milliseconds(2), [&] {
+            times.push_back(scheduler.now());
+        });
+    });
+    scheduler.runUntilIdle();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], milliseconds(1));
+    EXPECT_EQ(times[1], milliseconds(3));
+}
+
+TEST(Scheduler, CancelPreventsExecution)
+{
+    SimScheduler scheduler;
+    int ran = 0;
+    const EventId id = scheduler.schedule(milliseconds(5), [&] { ++ran; });
+    EXPECT_TRUE(scheduler.cancel(id));
+    scheduler.runUntilIdle();
+    EXPECT_EQ(ran, 0);
+}
+
+TEST(Scheduler, CancelUnknownIdFails)
+{
+    SimScheduler scheduler;
+    EXPECT_FALSE(scheduler.cancel(kInvalidEventId));
+    EXPECT_FALSE(scheduler.cancel(9999));
+}
+
+TEST(Scheduler, DoubleCancelSecondFails)
+{
+    SimScheduler scheduler;
+    const EventId id = scheduler.schedule(milliseconds(5), [] {});
+    EXPECT_TRUE(scheduler.cancel(id));
+    EXPECT_FALSE(scheduler.cancel(id));
+}
+
+TEST(Scheduler, StepExecutesExactlyOne)
+{
+    SimScheduler scheduler;
+    int ran = 0;
+    scheduler.schedule(1, [&] { ++ran; });
+    scheduler.schedule(2, [&] { ++ran; });
+    EXPECT_TRUE(scheduler.step());
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(scheduler.step());
+    EXPECT_EQ(ran, 2);
+    EXPECT_FALSE(scheduler.step());
+}
+
+TEST(Scheduler, ExecutedEventsCounts)
+{
+    SimScheduler scheduler;
+    for (int i = 0; i < 7; ++i)
+        scheduler.schedule(i, [] {});
+    scheduler.runUntilIdle();
+    EXPECT_EQ(scheduler.executedEvents(), 7u);
+}
+
+TEST(Scheduler, AdvanceToMovesIdleClock)
+{
+    SimScheduler scheduler;
+    scheduler.advanceTo(seconds(5));
+    EXPECT_EQ(scheduler.now(), seconds(5));
+}
+
+TEST(SchedulerDeath, ScheduleInPastPanics)
+{
+    SimScheduler scheduler;
+    scheduler.advanceTo(seconds(1));
+    EXPECT_DEATH(scheduler.scheduleAt(0, [] {}), "past");
+}
+
+TEST(SchedulerDeath, NegativeDelayPanics)
+{
+    SimScheduler scheduler;
+    EXPECT_DEATH(scheduler.schedule(-1, [] {}), "negative delay");
+}
+
+} // namespace
+} // namespace rchdroid

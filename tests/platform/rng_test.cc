@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Rng: determinism, range and distribution properties.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/rng.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextIntInclusiveBounds)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const auto x = rng.nextInt(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        seen.insert(x);
+    }
+    // All seven values should appear in 5000 draws.
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntSingletonRange)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextInt(5, 5), 5);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.nextGaussian(10.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic)
+{
+    Rng a(21);
+    Rng child1 = a.fork();
+    Rng b(21);
+    Rng child2 = b.fork();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child1.next(), child2.next());
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Status / Result error propagation.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "platform/status.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status status;
+    EXPECT_TRUE(status.isOk());
+    EXPECT_TRUE(static_cast<bool>(status));
+    EXPECT_EQ(status.toString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    const Status status = Status::notFound("missing resource");
+    EXPECT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::NotFound);
+    EXPECT_EQ(status.message(), "missing resource");
+    EXPECT_EQ(status.toString(), "NotFound: missing resource");
+}
+
+TEST(Status, AllConstructorsProduceTheirCode)
+{
+    EXPECT_EQ(Status::invalidArgument("x").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_EQ(Status::alreadyExists("x").code(), StatusCode::AlreadyExists);
+    EXPECT_EQ(Status::internal("x").code(), StatusCode::Internal);
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> result(42);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), 42);
+    EXPECT_TRUE(result.status().isOk());
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> result(Status::internal("boom"));
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::Internal);
+    EXPECT_EQ(result.valueOr(-1), -1);
+}
+
+TEST(Result, MoveOutValue)
+{
+    Result<std::string> result(std::string("payload"));
+    const std::string taken = std::move(result).value();
+    EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, ValueOrPassesThroughOnSuccess)
+{
+    Result<int> result(7);
+    EXPECT_EQ(result.valueOr(0), 7);
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Telemetry bus: the null sink and event plumbing.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "platform/telemetry.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(Telemetry, NullSinkSwallowsEverything)
+{
+    NullTelemetrySink &sink = NullTelemetrySink::instance();
+    TelemetryEvent event;
+    event.kind = "anything";
+    sink.record(event); // must not blow up; shared instance is stable
+    EXPECT_EQ(&NullTelemetrySink::instance(), &sink);
+}
+
+TEST(Telemetry, CustomSinkReceivesEvents)
+{
+    class Collecting final : public TelemetrySink
+    {
+      public:
+        void record(const TelemetryEvent &event) override
+        { events.push_back(event); }
+        std::vector<TelemetryEvent> events;
+    } sink;
+
+    TelemetryEvent event;
+    event.time = milliseconds(5);
+    event.kind = "test.kind";
+    event.detail = "payload";
+    event.value = 3.5;
+    sink.record(event);
+    ASSERT_EQ(sink.events.size(), 1u);
+    EXPECT_EQ(sink.events[0].kind, "test.kind");
+    EXPECT_EQ(sink.events[0].detail, "payload");
+    EXPECT_DOUBLE_EQ(sink.events[0].value, 3.5);
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Virtual-time helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "platform/time.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(Time, DurationConstructors)
+{
+    EXPECT_EQ(nanoseconds(5), 5);
+    EXPECT_EQ(microseconds(2), 2'000);
+    EXPECT_EQ(milliseconds(3), 3'000'000);
+    EXPECT_EQ(seconds(1), 1'000'000'000);
+    EXPECT_EQ(minutes(2), 120'000'000'000);
+}
+
+TEST(Time, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toMillisF(milliseconds(15)), 15.0);
+    EXPECT_DOUBLE_EQ(toSecondsF(seconds(3)), 3.0);
+    EXPECT_EQ(toMillis(microseconds(2500)), 2);
+    EXPECT_DOUBLE_EQ(toMillisF(microseconds(2500)), 2.5);
+}
+
+TEST(Time, FormatSimTime)
+{
+    EXPECT_EQ(formatSimTime(milliseconds(123) + microseconds(456)),
+              "123.456ms");
+    EXPECT_EQ(formatSimTime(kSimTimeNever), "never");
+    EXPECT_EQ(formatSimTime(0), "0.000ms");
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ShadowGcPolicy: Algorithm 1 — collect only when shadow_time exceeds
+ * THRESH_T *and* shadow_frequency is below THRESH_F.
+ */
+#include <gtest/gtest.h>
+
+#include "rch/shadow_gc.h"
+
+namespace rchdroid {
+namespace {
+
+struct GcFixture : ::testing::Test
+{
+    GcFixture()
+    {
+        config.thresh_t = seconds(50);
+        config.thresh_f = 4;
+        config.frequency_window = seconds(60);
+    }
+
+    RchConfig config;
+};
+
+TEST_F(GcFixture, YoungShadowKept)
+{
+    ShadowGcPolicy policy(config);
+    policy.noteShadowEntered(seconds(100));
+    // 10 s of shadow age: below THRESH_T.
+    EXPECT_FALSE(policy.shouldCollect(seconds(110), seconds(100)));
+}
+
+TEST_F(GcFixture, OldInfrequentShadowCollected)
+{
+    ShadowGcPolicy policy(config);
+    policy.noteShadowEntered(seconds(100));
+    // 70 s later: old, and only one entry left in the trailing window
+    // is itself expired → frequency 0 < 4.
+    EXPECT_TRUE(policy.shouldCollect(seconds(170), seconds(100)));
+}
+
+TEST_F(GcFixture, OldButFrequentShadowKept)
+{
+    ShadowGcPolicy policy(config);
+    // A user flipping often: entries land inside the trailing window.
+    for (int i = 0; i < 4; ++i)
+        policy.noteShadowEntered(seconds(130 + i * 10));
+    // Shadow entered long ago (age 80 s > THRESH_T) but frequency is 4.
+    EXPECT_EQ(policy.shadowFrequency(seconds(180)), 4);
+    EXPECT_FALSE(policy.shouldCollect(seconds(180), seconds(100)));
+}
+
+TEST_F(GcFixture, BoundaryAgeNotCollected)
+{
+    ShadowGcPolicy policy(config);
+    // shadow_time must be strictly greater than THRESH_T.
+    EXPECT_FALSE(policy.shouldCollect(seconds(50), 0));
+    EXPECT_TRUE(policy.shouldCollect(seconds(50) + 1, 0));
+}
+
+TEST_F(GcFixture, FrequencyWindowExpiresEntries)
+{
+    ShadowGcPolicy policy(config);
+    for (int i = 0; i < 6; ++i)
+        policy.noteShadowEntered(seconds(i * 5)); // 0..25 s
+    EXPECT_EQ(policy.shadowFrequency(seconds(30)), 6);
+    // At t=70 s, entries at 0 and 5 have left the 60 s window.
+    EXPECT_EQ(policy.shadowFrequency(seconds(70)), 4);
+    // At t=200 s, everything expired.
+    EXPECT_EQ(policy.shadowFrequency(seconds(200)), 0);
+}
+
+TEST_F(GcFixture, ResetForgetsHistory)
+{
+    ShadowGcPolicy policy(config);
+    for (int i = 0; i < 10; ++i)
+        policy.noteShadowEntered(seconds(i));
+    policy.reset();
+    EXPECT_EQ(policy.shadowFrequency(seconds(10)), 0);
+}
+
+TEST_F(GcFixture, ZeroThresholdCollectsAnythingInfrequent)
+{
+    config.thresh_t = 0;
+    config.thresh_f = 1;
+    ShadowGcPolicy policy(config);
+    // Age 1 ns, frequency 0: collected (the no-reuse ablation config).
+    EXPECT_TRUE(policy.shouldCollect(1, 0));
+}
+
+TEST_F(GcFixture, PaperOperatingPoint)
+{
+    // The paper's heuristic: "if a user changes the configuration four
+    // times per minute, it is frequent and the shadow-state activity
+    // has a high probability to be reused."
+    ShadowGcPolicy policy(config);
+    for (int i = 0; i < 4; ++i)
+        policy.noteShadowEntered(seconds(i * 15)); // exactly 4 per minute
+    EXPECT_FALSE(policy.shouldCollect(seconds(59), 0));
+}
+
+} // namespace
+} // namespace rchdroid

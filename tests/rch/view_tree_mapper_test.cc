@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ViewTreeMapper: the essence-based mapping of Fig. 5 — id-keyed,
+ * bidirectional, tolerant of structural drift between configurations.
+ */
+#include <gtest/gtest.h>
+
+#include "rch/view_tree_mapper.h"
+#include "view/image_view.h"
+#include "view/text_view.h"
+#include "view/view_group.h"
+
+namespace rchdroid {
+namespace {
+
+class TreeActivity : public Activity
+{
+  public:
+    explicit TreeActivity(std::unique_ptr<View> content)
+        : Activity("test/.Tree")
+    {
+        window().setContent(std::move(content));
+    }
+};
+
+std::unique_ptr<View>
+standardTree()
+{
+    auto root = std::make_unique<LinearLayout>(
+        "root", LinearLayout::Direction::Vertical);
+    root->addChild(std::make_unique<TextView>("title"));
+    root->addChild(std::make_unique<ImageView>("img"));
+    root->addChild(std::make_unique<EditText>("")); // id-less
+    return root;
+}
+
+TEST(ViewTreeMapper, WiresMatchingIdsBothWays)
+{
+    TreeActivity sunny(standardTree());
+    TreeActivity shadow(standardTree());
+    ViewTreeMapper mapper;
+    const auto result = mapper.buildMapping(sunny, shadow);
+
+    // decor + root + title + img carry ids; the EditText does not.
+    EXPECT_EQ(result.sunny_ids, 4);
+    EXPECT_EQ(result.wired, 4);
+    EXPECT_EQ(result.unmatched, 0);
+
+    View *shadow_title = shadow.findViewById("title");
+    View *sunny_title = sunny.findViewById("title");
+    EXPECT_EQ(shadow_title->sunnyPeer(), sunny_title);
+    EXPECT_EQ(sunny_title->sunnyPeer(), shadow_title);
+}
+
+TEST(ViewTreeMapper, UnmatchedShadowViewsCounted)
+{
+    auto shadow_tree = std::make_unique<LinearLayout>(
+        "root", LinearLayout::Direction::Vertical);
+    shadow_tree->addChild(std::make_unique<TextView>("only_in_shadow"));
+    TreeActivity sunny(standardTree());
+    TreeActivity shadow(std::move(shadow_tree));
+
+    ViewTreeMapper mapper;
+    const auto result = mapper.buildMapping(sunny, shadow);
+    // Shadow ids: decor, root, only_in_shadow → decor+root match.
+    EXPECT_EQ(result.wired, 2);
+    EXPECT_EQ(result.unmatched, 1);
+    EXPECT_EQ(shadow.findViewById("only_in_shadow")->sunnyPeer(), nullptr);
+}
+
+TEST(ViewTreeMapper, IdlessViewsNeverWired)
+{
+    TreeActivity sunny(standardTree());
+    TreeActivity shadow(standardTree());
+    ViewTreeMapper mapper;
+    mapper.buildMapping(sunny, shadow);
+    // Find the id-less EditText in the shadow tree.
+    View *idless = nullptr;
+    shadow.window().decorView().visit([&idless](View &v) {
+        if (v.id().empty() && std::string(v.typeName()) == "EditText")
+            idless = &v;
+    });
+    ASSERT_NE(idless, nullptr);
+    EXPECT_EQ(idless->sunnyPeer(), nullptr);
+}
+
+TEST(ViewTreeMapper, LinearScanProducesSameWiring)
+{
+    TreeActivity sunny_a(standardTree()), shadow_a(standardTree());
+    TreeActivity sunny_b(standardTree()), shadow_b(standardTree());
+
+    const auto hash =
+        ViewTreeMapper(MappingStrategy::HashTable).buildMapping(sunny_a,
+                                                                shadow_a);
+    const auto linear =
+        ViewTreeMapper(MappingStrategy::LinearScan).buildMapping(sunny_b,
+                                                                 shadow_b);
+    EXPECT_EQ(hash.wired, linear.wired);
+    EXPECT_EQ(hash.unmatched, linear.unmatched);
+    EXPECT_EQ(shadow_b.findViewById("img")->sunnyPeer(),
+              sunny_b.findViewById("img"));
+}
+
+TEST(ViewTreeMapper, MappingEnablesMigrationAcrossTrees)
+{
+    TreeActivity sunny(standardTree());
+    TreeActivity shadow(standardTree());
+    ViewTreeMapper mapper;
+    mapper.buildMapping(sunny, shadow);
+
+    auto *shadow_title = shadow.findViewByIdAs<TextView>("title");
+    shadow_title->setText("from async");
+    shadow_title->applyMigration(*shadow_title->sunnyPeer());
+    EXPECT_EQ(sunny.findViewByIdAs<TextView>("title")->text(), "from async");
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * ResourceTable: qualifier matching (the layout-land/layout-port and
+ * values-fr mechanics the runtime change re-resolves).
+ */
+#include <gtest/gtest.h>
+
+#include "resources/resource_table.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(ResourceQualifier, AnyMatchesEverything)
+{
+    const ResourceQualifier any = ResourceQualifier::any();
+    EXPECT_TRUE(any.matches(Configuration::defaultPortrait()));
+    EXPECT_TRUE(any.matches(Configuration::defaultLandscape()));
+    EXPECT_EQ(any.specificity(), 0);
+    EXPECT_EQ(any.toString(), "any");
+}
+
+TEST(ResourceQualifier, OrientationMatch)
+{
+    const auto land =
+        ResourceQualifier::forOrientation(Orientation::Landscape);
+    EXPECT_TRUE(land.matches(Configuration::defaultLandscape()));
+    EXPECT_FALSE(land.matches(Configuration::defaultPortrait()));
+    EXPECT_EQ(land.specificity(), 1);
+}
+
+TEST(ResourceQualifier, SmallestWidthMatch)
+{
+    ResourceQualifier sw;
+    sw.min_smallest_width_px = 1000;
+    Configuration small = Configuration::defaultPortrait(); // 1080x1920
+    EXPECT_TRUE(sw.matches(small)); // smallest dim 1080 >= 1000
+    sw.min_smallest_width_px = 1200;
+    EXPECT_FALSE(sw.matches(small));
+}
+
+TEST(ResourceQualifier, CombinedAxes)
+{
+    ResourceQualifier q = ResourceQualifier::forLocale("fr-FR");
+    q.orientation = Orientation::Portrait;
+    EXPECT_EQ(q.specificity(), 2);
+    EXPECT_TRUE(
+        q.matches(Configuration::defaultPortrait().withLocale("fr-FR")));
+    EXPECT_FALSE(
+        q.matches(Configuration::defaultLandscape().withLocale("fr-FR")));
+}
+
+TEST(ResourceTable, SameNameSameId)
+{
+    ResourceTable table;
+    const auto id1 = table.addString("title", ResourceQualifier::any(),
+                                     StringValue{"Hello"});
+    const auto id2 = table.addString(
+        "title", ResourceQualifier::forLocale("fr-FR"), StringValue{"Salut"});
+    EXPECT_EQ(id1, id2);
+    EXPECT_EQ(table.countOfType(ResourceType::String), 1u);
+}
+
+TEST(ResourceTable, MostSpecificVariantWins)
+{
+    ResourceTable table;
+    const auto id = table.addString("title", ResourceQualifier::any(),
+                                    StringValue{"generic"});
+    table.addString("title", ResourceQualifier::forLocale("fr-FR"),
+                    StringValue{"french"});
+
+    const auto en = table.resolveString(id, Configuration::defaultPortrait());
+    ASSERT_TRUE(en.isOk());
+    EXPECT_EQ(en.value().text, "generic");
+
+    const auto fr = table.resolveString(
+        id, Configuration::defaultPortrait().withLocale("fr-FR"));
+    ASSERT_TRUE(fr.isOk());
+    EXPECT_EQ(fr.value().text, "french");
+}
+
+TEST(ResourceTable, OrientationQualifiedDrawable)
+{
+    ResourceTable table;
+    const auto id = table.addDrawable(
+        "hero", ResourceQualifier::forOrientation(Orientation::Portrait),
+        DrawableValue{"hero_port", 100, 200});
+    table.addDrawable("hero",
+                      ResourceQualifier::forOrientation(Orientation::Landscape),
+                      DrawableValue{"hero_land", 200, 100});
+
+    const auto port =
+        table.resolveDrawable(id, Configuration::defaultPortrait());
+    ASSERT_TRUE(port.isOk());
+    EXPECT_EQ(port.value().asset_name, "hero_port");
+
+    const auto land =
+        table.resolveDrawable(id, Configuration::defaultLandscape());
+    ASSERT_TRUE(land.isOk());
+    EXPECT_EQ(land.value().asset_name, "hero_land");
+}
+
+TEST(ResourceTable, NoMatchingVariantIsNotFound)
+{
+    ResourceTable table;
+    const auto id = table.addString(
+        "only_fr", ResourceQualifier::forLocale("fr-FR"), StringValue{"x"});
+    const auto result =
+        table.resolveString(id, Configuration::defaultPortrait());
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+}
+
+TEST(ResourceTable, UnknownIdIsNotFound)
+{
+    ResourceTable table;
+    EXPECT_FALSE(
+        table.resolveString(0xdeadbeef, Configuration::defaultPortrait()));
+}
+
+TEST(ResourceTable, IdForName)
+{
+    ResourceTable table;
+    const auto id = table.addLayout("main", ResourceQualifier::any(),
+                                    LayoutValue{});
+    const auto looked = table.idForName(ResourceType::Layout, "main");
+    ASSERT_TRUE(looked.isOk());
+    EXPECT_EQ(looked.value(), id);
+    EXPECT_FALSE(table.idForName(ResourceType::Layout, "absent"));
+}
+
+TEST(ResourceTable, IdEncodesType)
+{
+    ResourceTable table;
+    const auto sid =
+        table.addString("s", ResourceQualifier::any(), StringValue{});
+    const auto did = table.addDrawable("d", ResourceQualifier::any(),
+                                       DrawableValue{"a", 1, 1});
+    EXPECT_EQ(resourceIdType(sid), ResourceType::String);
+    EXPECT_EQ(resourceIdType(did), ResourceType::Drawable);
+}
+
+TEST(LayoutNode, CountNodes)
+{
+    LayoutNode root;
+    root.element = "LinearLayout";
+    LayoutNode child;
+    child.element = "TextView";
+    root.children.push_back(child);
+    root.children.push_back(child);
+    LayoutNode nested;
+    nested.element = "FrameLayout";
+    nested.children.push_back(child);
+    root.children.push_back(nested);
+    EXPECT_EQ(root.countNodes(), 5);
+}
+
+TEST(DrawableValue, ByteSizeIsArgb8888)
+{
+    const DrawableValue v{"a", 64, 32};
+    EXPECT_EQ(v.byteSize(), 64u * 32u * 4u);
+}
+
+} // namespace
+} // namespace rchdroid

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * MemorySampler: periodic sampling on the virtual clock.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/memory_sampler.h"
+
+namespace rchdroid::sim {
+namespace {
+
+TEST(MemorySampler, SamplesAtInterval)
+{
+    SimScheduler scheduler;
+    std::size_t heap = 10 << 20;
+    MemorySampler sampler(scheduler, [&] { return heap; }, milliseconds(10));
+    sampler.start();
+    scheduler.runUntil(milliseconds(35));
+    sampler.stop();
+    // Samples at 0, 10, 20, 30.
+    EXPECT_EQ(sampler.samples().size(), 4u);
+    EXPECT_EQ(sampler.samples()[2].time, milliseconds(20));
+}
+
+TEST(MemorySampler, ObservesChanges)
+{
+    SimScheduler scheduler;
+    std::size_t heap = 1 << 20;
+    MemorySampler sampler(scheduler, [&] { return heap; }, milliseconds(10));
+    sampler.start();
+    scheduler.schedule(milliseconds(15), [&] { heap = 3 << 20; });
+    scheduler.runUntil(milliseconds(30));
+    sampler.stop();
+    EXPECT_DOUBLE_EQ(sampler.samples()[1].megabytes(), 1.0); // t=10
+    EXPECT_DOUBLE_EQ(sampler.samples()[2].megabytes(), 3.0); // t=20
+    EXPECT_DOUBLE_EQ(sampler.peakMb(), 3.0);
+}
+
+TEST(MemorySampler, MeanAndWindowedMean)
+{
+    SimScheduler scheduler;
+    std::size_t heap = 2 << 20;
+    MemorySampler sampler(scheduler, [&] { return heap; }, milliseconds(10));
+    sampler.start();
+    scheduler.schedule(milliseconds(25), [&] { heap = 4 << 20; });
+    scheduler.runUntil(milliseconds(45));
+    sampler.stop();
+    // 0,10,20 → 2 MB; 30,40 → 4 MB.
+    EXPECT_NEAR(sampler.meanMb(), (3 * 2.0 + 2 * 4.0) / 5, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        sampler.meanMbBetween(milliseconds(30), milliseconds(50)), 4.0);
+}
+
+TEST(MemorySampler, StopPreventsFurtherSamples)
+{
+    SimScheduler scheduler;
+    MemorySampler sampler(scheduler, [] { return std::size_t{1}; },
+                          milliseconds(5));
+    sampler.start();
+    scheduler.runUntil(milliseconds(11));
+    sampler.stop();
+    const auto count = sampler.samples().size();
+    scheduler.runUntil(milliseconds(100));
+    EXPECT_EQ(sampler.samples().size(), count);
+    EXPECT_FALSE(sampler.running());
+}
+
+TEST(MemorySampler, RestartContinues)
+{
+    SimScheduler scheduler;
+    MemorySampler sampler(scheduler, [] { return std::size_t{1}; },
+                          milliseconds(5));
+    sampler.start();
+    scheduler.runUntil(milliseconds(6));
+    sampler.stop();
+    sampler.start();
+    scheduler.runUntil(milliseconds(12));
+    sampler.stop();
+    EXPECT_GE(sampler.samples().size(), 3u);
+}
+
+TEST(MemorySampler, DoubleStartIsIdempotent)
+{
+    SimScheduler scheduler;
+    MemorySampler sampler(scheduler, [] { return std::size_t{1}; },
+                          milliseconds(5));
+    sampler.start();
+    sampler.start();
+    scheduler.runUntil(milliseconds(4));
+    EXPECT_EQ(sampler.samples().size(), 1u);
+}
+
+} // namespace
+} // namespace rchdroid::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * TraceRecorder: event bookkeeping and handling-episode extraction.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/trace.h"
+
+namespace rchdroid::sim {
+namespace {
+
+TelemetryEvent
+event(SimTime t, const std::string &kind)
+{
+    TelemetryEvent e;
+    e.time = t;
+    e.kind = kind;
+    return e;
+}
+
+TEST(TraceRecorder, StoresAndQueriesByKind)
+{
+    TraceRecorder trace;
+    trace.record(event(1, "a"));
+    trace.record(event(2, "b"));
+    trace.record(event(3, "a"));
+    EXPECT_EQ(trace.events().size(), 3u);
+    EXPECT_EQ(trace.countOfKind("a"), 2u);
+    EXPECT_EQ(trace.eventsOfKind("b").size(), 1u);
+    ASSERT_TRUE(trace.lastOfKind("a").has_value());
+    EXPECT_EQ(trace.lastOfKind("a")->time, 3);
+    EXPECT_FALSE(trace.lastOfKind("zzz").has_value());
+}
+
+TEST(TraceRecorder, PairsEpisodes)
+{
+    TraceRecorder trace;
+    trace.record(event(milliseconds(10), "atms.configChange"));
+    trace.record(event(milliseconds(150), "atms.activityResumed"));
+    trace.record(event(milliseconds(500), "atms.configChange"));
+    trace.record(event(milliseconds(590), "atms.activityResumed"));
+
+    const auto episodes = trace.handlingEpisodes();
+    ASSERT_EQ(episodes.size(), 2u);
+    EXPECT_DOUBLE_EQ(episodes[0].durationMs(), 140.0);
+    EXPECT_DOUBLE_EQ(episodes[1].durationMs(), 90.0);
+    EXPECT_DOUBLE_EQ(trace.lastHandlingMs(), 90.0);
+}
+
+TEST(TraceRecorder, CrashLeavesEpisodeOpen)
+{
+    TraceRecorder trace;
+    trace.record(event(milliseconds(10), "atms.configChange"));
+    trace.record(event(milliseconds(20), "app.crash"));
+    const auto episodes = trace.handlingEpisodes();
+    ASSERT_EQ(episodes.size(), 1u);
+    EXPECT_FALSE(episodes[0].completed());
+    EXPECT_DOUBLE_EQ(episodes[0].durationMs(), -1.0);
+    EXPECT_DOUBLE_EQ(trace.lastHandlingMs(), -1.0);
+    EXPECT_TRUE(trace.sawCrash());
+}
+
+TEST(TraceRecorder, ResumeWithoutChangeIgnoredByEpisodes)
+{
+    TraceRecorder trace;
+    trace.record(event(1, "atms.activityResumed")); // app launch
+    trace.record(event(milliseconds(10), "atms.configChange"));
+    trace.record(event(milliseconds(60), "atms.activityResumed"));
+    const auto episodes = trace.handlingEpisodes();
+    ASSERT_EQ(episodes.size(), 1u);
+    EXPECT_DOUBLE_EQ(episodes[0].durationMs(), 50.0);
+}
+
+TEST(TraceRecorder, LastHandlingSkipsTrailingOpenEpisode)
+{
+    TraceRecorder trace;
+    trace.record(event(milliseconds(0), "atms.configChange"));
+    trace.record(event(milliseconds(70), "atms.activityResumed"));
+    trace.record(event(milliseconds(100), "atms.configChange")); // in flight
+    EXPECT_DOUBLE_EQ(trace.lastHandlingMs(), 70.0);
+}
+
+TEST(TraceRecorder, CsvExport)
+{
+    TraceRecorder trace;
+    TelemetryEvent e;
+    e.time = milliseconds(12) + microseconds(500);
+    e.kind = "atms.configChange";
+    e.detail = "land \"quoted\"";
+    e.value = 7;
+    trace.record(e);
+    const std::string csv = trace.toCsv();
+    EXPECT_NE(csv.find("time_ms,kind,detail,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("12.500,atms.configChange,\"land \"\"quoted\"\"\","
+                       "7.000"),
+              std::string::npos);
+}
+
+TEST(TraceRecorder, CsvWriteToFile)
+{
+    TraceRecorder trace;
+    trace.record(TelemetryEvent{milliseconds(1), "x", "d", 0});
+    const std::string path = ::testing::TempDir() + "/trace_test.csv";
+    ASSERT_TRUE(trace.writeCsv(path));
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "time_ms,kind,detail,value");
+    EXPECT_FALSE(trace.writeCsv("/nonexistent-dir/x/y.csv"));
+}
+
+TEST(TraceRecorder, ClearResets)
+{
+    TraceRecorder trace;
+    trace.record(event(1, "x"));
+    trace.clear();
+    EXPECT_TRUE(trace.events().empty());
+}
+
+} // namespace
+} // namespace rchdroid::sim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Spinner / Switch / RatingBar: family membership — save policy and
+ * migration behaviour must come from the basic types (Table 1's
+ * "user-defined views ... will also be migrated according to the types
+ * they belong to" applies to the whole widget zoo).
+ */
+#include <gtest/gtest.h>
+
+#include "view/extra_widgets.h"
+#include "view/layout_inflater.h"
+
+namespace rchdroid {
+namespace {
+
+TEST(Spinner, IsListFamily)
+{
+    Spinner spinner("s");
+    EXPECT_EQ(spinner.migrationClass(), MigrationClass::List);
+    EXPECT_STREQ(spinner.typeName(), "Spinner");
+}
+
+TEST(Spinner, SelectionMigratesAndIsLostByDefaultSave)
+{
+    Spinner shadow("bridge"), sunny("bridge");
+    shadow.setItems({"obfs4", "meek", "snowflake"});
+    sunny.setItems({"obfs4", "meek", "snowflake"});
+    shadow.select(2);
+
+    // Default (stock) save loses the selection — Fig. 13(d)'s Orbot.
+    Bundle container;
+    shadow.saveHierarchyState(container, /*full=*/false, "r");
+    Spinner fresh("bridge");
+    fresh.setItems({"obfs4", "meek", "snowflake"});
+    fresh.restoreHierarchyState(container, "r");
+    EXPECT_EQ(fresh.selected(), -1);
+
+    // Migration (Table 1 List policy) carries it.
+    shadow.applyMigration(sunny);
+    EXPECT_EQ(sunny.selected(), 2);
+}
+
+TEST(Switch, IsCompoundButtonFamily)
+{
+    Switch toggle("t");
+    EXPECT_EQ(toggle.migrationClass(), MigrationClass::Text);
+    toggle.setChecked(true);
+
+    // Switch persists by default, like CheckBox.
+    Bundle container;
+    toggle.saveHierarchyState(container, false, "r");
+    Switch fresh("t");
+    fresh.restoreHierarchyState(container, "r");
+    EXPECT_TRUE(fresh.isChecked());
+}
+
+TEST(Switch, MigratesCheckedState)
+{
+    Switch shadow("wifi"), sunny("wifi");
+    shadow.setChecked(true);
+    shadow.applyMigration(sunny);
+    EXPECT_TRUE(sunny.isChecked());
+}
+
+TEST(RatingBar, HalfStarResolution)
+{
+    RatingBar bar("r", 5);
+    EXPECT_EQ(bar.numStars(), 5);
+    bar.setRating(3.5);
+    EXPECT_DOUBLE_EQ(bar.rating(), 3.5);
+    bar.setRating(9.0); // clamped to the star count
+    EXPECT_DOUBLE_EQ(bar.rating(), 5.0);
+    bar.setRating(-1.0);
+    EXPECT_DOUBLE_EQ(bar.rating(), 0.0);
+}
+
+TEST(RatingBar, PersistsByDefaultLikeSeekBar)
+{
+    RatingBar bar("r", 5);
+    bar.setRating(4.0);
+    Bundle container;
+    bar.saveHierarchyState(container, false, "r");
+    RatingBar fresh("r", 5);
+    fresh.restoreHierarchyState(container, "r");
+    EXPECT_DOUBLE_EQ(fresh.rating(), 4.0);
+}
+
+TEST(RatingBar, MigratesViaProgressPolicy)
+{
+    RatingBar shadow("r", 5), sunny("r", 5);
+    shadow.setRating(2.5);
+    EXPECT_EQ(shadow.migrationClass(), MigrationClass::Progress);
+    shadow.applyMigration(sunny);
+    EXPECT_DOUBLE_EQ(sunny.rating(), 2.5);
+}
+
+TEST(ExtraWidgets, InflaterKnowsAllThree)
+{
+    auto table = std::make_shared<ResourceTable>();
+    ResourceManager resources(table, ResourceCostModel{});
+    LayoutInflater inflater(resources, 0);
+    const Configuration config = Configuration::defaultPortrait();
+
+    LayoutNode spinner;
+    spinner.element = "Spinner";
+    spinner.attrs = {{"id", "s"}, {"items", "a|b"}};
+    auto s = inflater.inflateNode(spinner, config);
+    ASSERT_TRUE(s.isOk());
+    EXPECT_EQ(dynamic_cast<Spinner *>(s.value().value.get())->itemCount(),
+              2u);
+
+    LayoutNode toggle;
+    toggle.element = "Switch";
+    toggle.attrs = {{"id", "t"}, {"checked", "true"}};
+    auto t = inflater.inflateNode(toggle, config);
+    ASSERT_TRUE(t.isOk());
+    EXPECT_TRUE(dynamic_cast<Switch *>(t.value().value.get())->isChecked());
+
+    LayoutNode rating;
+    rating.element = "RatingBar";
+    rating.attrs = {{"id", "r"}, {"stars", "10"}, {"rating", "7"}};
+    auto r = inflater.inflateNode(rating, config);
+    ASSERT_TRUE(r.isOk());
+    auto *bar = dynamic_cast<RatingBar *>(r.value().value.get());
+    ASSERT_NE(bar, nullptr);
+    EXPECT_EQ(bar->numStars(), 10);
+    EXPECT_DOUBLE_EQ(bar->rating(), 7.0);
+}
+
+} // namespace
+} // namespace rchdroid

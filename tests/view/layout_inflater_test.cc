@@ -1,0 +1,221 @@
+/**
+ * @file
+ * LayoutInflater: element construction, resource references, cost
+ * accounting, custom factories.
+ */
+#include <gtest/gtest.h>
+
+#include "view/image_view.h"
+#include "view/layout_inflater.h"
+#include "view/list_view.h"
+#include "view/progress_bar.h"
+#include "view/text_view.h"
+#include "view/video_view.h"
+#include "view/view_group.h"
+
+namespace rchdroid {
+namespace {
+
+struct InflaterFixture : ::testing::Test
+{
+    InflaterFixture()
+    {
+        auto table = std::make_shared<ResourceTable>();
+        table->addString("hello", ResourceQualifier::any(),
+                         StringValue{"Hello"});
+        table->addString("hello", ResourceQualifier::forLocale("fr-FR"),
+                         StringValue{"Bonjour"});
+        table->addDrawable("pic", ResourceQualifier::any(),
+                           DrawableValue{"pic_any", 16, 16});
+
+        LayoutNode root;
+        root.element = "LinearLayout";
+        root.attrs = {{"id", "root"}, {"orientation", "vertical"}};
+        LayoutNode text;
+        text.element = "TextView";
+        text.attrs = {{"id", "title"}, {"text", "@string/hello"}};
+        LayoutNode image;
+        image.element = "ImageView";
+        image.attrs = {{"id", "img"}, {"src", "@drawable/pic"}};
+        root.children = {text, image};
+        layout_id = table->addLayout("main", ResourceQualifier::any(),
+                                     LayoutValue{root});
+
+        ResourceCostModel costs;
+        costs.lookup_cost = microseconds(10);
+        costs.drawable_base_cost = microseconds(50);
+        costs.drawable_per_kib = microseconds(1);
+        costs.layout_per_node = microseconds(20);
+        resources.emplace(std::move(table), costs);
+        inflater.emplace(*resources, microseconds(100));
+    }
+
+    ResourceId layout_id = 0;
+    std::optional<ResourceManager> resources;
+    std::optional<LayoutInflater> inflater;
+    Configuration config = Configuration::defaultPortrait();
+};
+
+TEST_F(InflaterFixture, BuildsDeclaredTree)
+{
+    auto result = inflater->inflate(layout_id, config);
+    ASSERT_TRUE(result.isOk());
+    View &root = *result.value().value;
+    EXPECT_STREQ(root.typeName(), "LinearLayout");
+    auto *title = dynamic_cast<TextView *>(root.findViewById("title"));
+    ASSERT_NE(title, nullptr);
+    EXPECT_EQ(title->text(), "Hello");
+    auto *img = dynamic_cast<ImageView *>(root.findViewById("img"));
+    ASSERT_NE(img, nullptr);
+    EXPECT_EQ(img->assetName(), "pic_any");
+}
+
+TEST_F(InflaterFixture, LocaleAffectsStringResolution)
+{
+    auto result =
+        inflater->inflate(layout_id, config.withLocale("fr-FR"));
+    ASSERT_TRUE(result.isOk());
+    auto *title = dynamic_cast<TextView *>(
+        result.value().value->findViewById("title"));
+    ASSERT_NE(title, nullptr);
+    EXPECT_EQ(title->text(), "Bonjour");
+}
+
+TEST_F(InflaterFixture, CostCoversParseInflateAndResources)
+{
+    auto result = inflater->inflate(layout_id, config);
+    ASSERT_TRUE(result.isOk());
+    // layout: lookup 10 + 3 nodes * 20 = 70
+    // inflate: 3 nodes * 100 = 300
+    // string: 10; drawable: 10 + 50 + 1 = 61
+    EXPECT_EQ(result.value().cost, microseconds(70 + 300 + 10 + 61));
+}
+
+TEST_F(InflaterFixture, InflateNodeDirect)
+{
+    LayoutNode node;
+    node.element = "ProgressBar";
+    node.attrs = {{"id", "p"}, {"progress", "30"}, {"max", "60"}};
+    auto result = inflater->inflateNode(node, config);
+    ASSERT_TRUE(result.isOk());
+    auto *bar = dynamic_cast<ProgressBar *>(result.value().value.get());
+    ASSERT_NE(bar, nullptr);
+    EXPECT_EQ(bar->progress(), 30);
+    EXPECT_EQ(bar->max(), 60);
+}
+
+TEST_F(InflaterFixture, AllBuiltinElements)
+{
+    for (const char *element :
+         {"View", "FrameLayout", "LinearLayout", "ScrollView", "TextView",
+          "Button", "EditText", "CheckBox", "ImageView", "ProgressBar",
+          "SeekBar", "ListView", "GridView", "AbsListView", "VideoView"}) {
+        LayoutNode node;
+        node.element = element;
+        node.attrs = {{"id", "x"}};
+        auto result = inflater->inflateNode(node, config);
+        ASSERT_TRUE(result.isOk()) << element;
+    }
+}
+
+TEST_F(InflaterFixture, ListItemsAttribute)
+{
+    LayoutNode node;
+    node.element = "ListView";
+    node.attrs = {{"id", "l"}, {"items", "a|b|c"}};
+    auto result = inflater->inflateNode(node, config);
+    ASSERT_TRUE(result.isOk());
+    auto *list = dynamic_cast<ListView *>(result.value().value.get());
+    ASSERT_NE(list, nullptr);
+    EXPECT_EQ(list->itemCount(), 3u);
+}
+
+TEST_F(InflaterFixture, GridColumns)
+{
+    LayoutNode node;
+    node.element = "GridView";
+    node.attrs = {{"id", "g"}, {"columns", "4"}};
+    auto result = inflater->inflateNode(node, config);
+    ASSERT_TRUE(result.isOk());
+    auto *grid = dynamic_cast<GridView *>(result.value().value.get());
+    ASSERT_NE(grid, nullptr);
+    EXPECT_EQ(grid->columns(), 4);
+}
+
+TEST_F(InflaterFixture, CheckedAttribute)
+{
+    LayoutNode node;
+    node.element = "CheckBox";
+    node.attrs = {{"id", "c"}, {"checked", "true"}};
+    auto result = inflater->inflateNode(node, config);
+    ASSERT_TRUE(result.isOk());
+    auto *box = dynamic_cast<CheckBox *>(result.value().value.get());
+    ASSERT_NE(box, nullptr);
+    EXPECT_TRUE(box->isChecked());
+}
+
+TEST_F(InflaterFixture, UnknownElementFails)
+{
+    LayoutNode node;
+    node.element = "FancyWidget";
+    auto result = inflater->inflateNode(node, config);
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+}
+
+TEST_F(InflaterFixture, LeafWithChildrenFails)
+{
+    LayoutNode node;
+    node.element = "TextView";
+    LayoutNode child;
+    child.element = "View";
+    node.children.push_back(child);
+    auto result = inflater->inflateNode(node, config);
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST_F(InflaterFixture, MissingStringReferenceFails)
+{
+    LayoutNode node;
+    node.element = "TextView";
+    node.attrs = {{"text", "@string/nope"}};
+    EXPECT_FALSE(inflater->inflateNode(node, config));
+}
+
+TEST_F(InflaterFixture, CustomFactoryBuildsUserDefinedView)
+{
+    class CustomCard final : public TextView
+    {
+      public:
+        explicit CustomCard(std::string id) : TextView(std::move(id)) {}
+        const char *typeName() const override { return "CustomCard"; }
+    };
+
+    ASSERT_TRUE(inflater->registerFactory(
+        "CustomCard",
+        [](const std::string &id, const auto &) {
+            return std::make_unique<CustomCard>(id);
+        }));
+    LayoutNode node;
+    node.element = "CustomCard";
+    node.attrs = {{"id", "card"}};
+    auto result = inflater->inflateNode(node, config);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_STREQ(result.value().value->typeName(), "CustomCard");
+    // Still carries the Text migration class (basic-type migration).
+    EXPECT_EQ(result.value().value->migrationClass(), MigrationClass::Text);
+}
+
+TEST_F(InflaterFixture, CannotOverrideBuiltins)
+{
+    const auto status = inflater->registerFactory(
+        "TextView", [](const std::string &id, const auto &) {
+            return std::make_unique<TextView>(id);
+        });
+    EXPECT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::InvalidArgument);
+}
+
+} // namespace
+} // namespace rchdroid

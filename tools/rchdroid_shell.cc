@@ -1,0 +1,267 @@
+/**
+ * @file
+ * rchdroid_shell: an adb-flavoured scripting front end for the
+ * simulated device — the same workflow the paper's artifact drives with
+ * real adb (`wm size 1080x1920`, touch the button, read the handling
+ * time from logcat), but against this repository's simulator.
+ *
+ * Usage:
+ *   rchdroid_shell             # read commands from stdin
+ *   rchdroid_shell script.txt  # read commands from a file
+ *
+ * Commands (one per line, '#' starts a comment):
+ *   mode rchdroid|android10      select the framework (before install)
+ *   install benchmark <views>    install a §5.1 benchmark app
+ *   install tp37 <index|name>    install a Table 3 app (1-based index)
+ *   install top100 <index|name>  install a Table 5 app (1-based index)
+ *   launch                       start the app's main activity
+ *   apply-state                  scripted user writes canonical state
+ *   verify-state                 observe the critical state
+ *   click                        tap the update button (async task)
+ *   rotate                       rotate the screen
+ *   wm size <w> <h>              resize (adb shell wm size WxH)
+ *   wm size reset                back to the native panel size
+ *   locale <tag>                 switch the system language
+ *   wait <ms>                    advance virtual time
+ *   handling                     print the last handling time
+ *   heap                         print the app heap (MB)
+ *   stats                        print RCHDroid + starter counters
+ *   trace-csv <path>             dump the telemetry log as CSV
+ *   quit                         exit
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/android_system.h"
+
+namespace rchdroid::tools {
+namespace {
+
+/** The shell's mutable state. */
+struct ShellState
+{
+    RuntimeChangeMode mode = RuntimeChangeMode::RchDroid;
+    std::unique_ptr<sim::AndroidSystem> device;
+    std::optional<apps::AppSpec> spec;
+    bool installed = false;
+};
+
+apps::AppSpec *
+requireApp(ShellState &state)
+{
+    if (!state.installed) {
+        std::printf("error: no app installed (use `install ...`)\n");
+        return nullptr;
+    }
+    return &*state.spec;
+}
+
+std::optional<apps::AppSpec>
+findInCorpus(const std::vector<apps::AppSpec> &corpus,
+             const std::string &selector)
+{
+    char *end = nullptr;
+    const long index = std::strtol(selector.c_str(), &end, 10);
+    if (end && *end == '\0') {
+        if (index < 1 || static_cast<std::size_t>(index) > corpus.size())
+            return std::nullopt;
+        return corpus[static_cast<std::size_t>(index - 1)];
+    }
+    for (const auto &spec : corpus) {
+        if (spec.name == selector)
+            return spec;
+    }
+    return std::nullopt;
+}
+
+bool
+handleInstall(ShellState &state, std::istringstream &args)
+{
+    std::string kind, selector;
+    args >> kind >> selector;
+    std::optional<apps::AppSpec> spec;
+    if (kind == "benchmark") {
+        const int views = selector.empty() ? 4 : std::atoi(selector.c_str());
+        if (views < 0) {
+            std::printf("error: bad view count\n");
+            return false;
+        }
+        spec = apps::makeBenchmarkApp(views);
+    } else if (kind == "tp37") {
+        spec = findInCorpus(apps::tp37(), selector);
+    } else if (kind == "top100") {
+        spec = findInCorpus(apps::top100(), selector);
+    } else {
+        std::printf("error: unknown corpus '%s'\n", kind.c_str());
+        return false;
+    }
+    if (!spec) {
+        std::printf("error: no app '%s' in %s\n", selector.c_str(),
+                    kind.c_str());
+        return false;
+    }
+    sim::SystemOptions options;
+    options.mode = state.mode;
+    state.device = std::make_unique<sim::AndroidSystem>(options);
+    state.device->install(*spec);
+    state.spec = std::move(spec);
+    state.installed = true;
+    std::printf("installed %s on %s\n", state.spec->name.c_str(),
+                runtimeChangeModeName(state.mode));
+    return true;
+}
+
+/** @return false on a command error (the shell keeps going). */
+bool
+execute(ShellState &state, const std::string &line)
+{
+    std::istringstream args(line);
+    std::string command;
+    args >> command;
+    if (command.empty() || command[0] == '#')
+        return true;
+
+    if (command == "mode") {
+        std::string which;
+        args >> which;
+        if (which == "rchdroid") {
+            state.mode = RuntimeChangeMode::RchDroid;
+        } else if (which == "android10") {
+            state.mode = RuntimeChangeMode::Restart;
+        } else {
+            std::printf("error: mode rchdroid|android10\n");
+            return false;
+        }
+        std::printf("mode = %s\n", runtimeChangeModeName(state.mode));
+        return true;
+    }
+    if (command == "install")
+        return handleInstall(state, args);
+
+    auto *spec = requireApp(state);
+    if (!spec)
+        return false;
+    auto &device = *state.device;
+
+    if (command == "launch") {
+        device.launch(*spec);
+        std::printf("launched %s\n", spec->component().c_str());
+    } else if (command == "apply-state") {
+        device.applyUserState(*spec);
+        std::printf("canonical user state applied\n");
+    } else if (command == "verify-state") {
+        const auto result = device.verifyCriticalState(*spec);
+        std::printf("critical state: %s\n", result.toString().c_str());
+    } else if (command == "click") {
+        device.clickUpdateButton(*spec);
+        std::printf("button clicked\n");
+    } else if (command == "rotate") {
+        device.rotate();
+        device.waitHandlingComplete();
+        std::printf("rotated; handling %.1f ms\n", device.lastHandlingMs());
+    } else if (command == "wm") {
+        std::string sub, w, h;
+        args >> sub >> w >> h;
+        if (sub != "size") {
+            std::printf("error: wm size <w> <h> | wm size reset\n");
+            return false;
+        }
+        if (w == "reset") {
+            device.wmSizeReset();
+        } else {
+            device.wmSize(std::atoi(w.c_str()), std::atoi(h.c_str()));
+        }
+        device.waitHandlingComplete();
+        std::printf("resized; handling %.1f ms\n", device.lastHandlingMs());
+    } else if (command == "locale") {
+        std::string tag;
+        args >> tag;
+        device.setLocale(tag);
+        device.waitHandlingComplete();
+        std::printf("locale %s; handling %.1f ms\n", tag.c_str(),
+                    device.lastHandlingMs());
+    } else if (command == "wait") {
+        long ms = 0;
+        args >> ms;
+        device.runFor(milliseconds(ms));
+        std::printf("now %s\n",
+                    formatSimTime(device.scheduler().now()).c_str());
+    } else if (command == "handling") {
+        std::printf("last handling: %.1f ms\n", device.lastHandlingMs());
+    } else if (command == "heap") {
+        std::printf("app heap: %.2f MB\n",
+                    static_cast<double>(device.appHeapBytes(*spec)) /
+                        (1024.0 * 1024.0));
+    } else if (command == "stats") {
+        const auto &starter = device.atms().starterStats();
+        std::printf("starter: normal=%llu sunny=%llu flips=%llu\n",
+                    static_cast<unsigned long long>(starter.normal_starts),
+                    static_cast<unsigned long long>(starter.sunny_creates),
+                    static_cast<unsigned long long>(starter.coin_flips));
+        if (const auto *handler = device.installed(*spec).handler.get()) {
+            const auto &s = handler->stats();
+            std::printf("rchdroid: changes=%llu inits=%llu flips=%llu "
+                        "migrated=%llu gc=%llu\n",
+                        static_cast<unsigned long long>(s.runtime_changes),
+                        static_cast<unsigned long long>(s.init_launches),
+                        static_cast<unsigned long long>(s.flips),
+                        static_cast<unsigned long long>(s.views_migrated),
+                        static_cast<unsigned long long>(s.gc_collections));
+        }
+        if (device.threadFor(*spec).crashed()) {
+            std::printf("app CRASHED: %s\n",
+                        device.threadFor(*spec).crashInfo()->reason.c_str());
+        }
+    } else if (command == "trace-csv") {
+        std::string path;
+        args >> path;
+        if (!device.trace().writeCsv(path)) {
+            std::printf("error: cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::printf("trace written to %s\n", path.c_str());
+    } else if (command == "quit") {
+        return true;
+    } else {
+        std::printf("error: unknown command '%s'\n", command.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+runShell(std::istream &in)
+{
+    ShellState state;
+    std::string line;
+    int errors = 0;
+    while (std::getline(in, line)) {
+        if (line == "quit")
+            break;
+        if (!execute(state, line))
+            ++errors;
+    }
+    return errors == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace rchdroid::tools
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1) {
+        std::ifstream file(argv[1]);
+        if (!file) {
+            std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+            return 2;
+        }
+        return rchdroid::tools::runShell(file);
+    }
+    return rchdroid::tools::runShell(std::cin);
+}
