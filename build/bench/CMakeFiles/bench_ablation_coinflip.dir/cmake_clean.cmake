@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coinflip.dir/bench_ablation_coinflip.cc.o"
+  "CMakeFiles/bench_ablation_coinflip.dir/bench_ablation_coinflip.cc.o.d"
+  "bench_ablation_coinflip"
+  "bench_ablation_coinflip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coinflip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

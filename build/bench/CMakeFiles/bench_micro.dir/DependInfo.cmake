@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rch/CMakeFiles/rch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ams/CMakeFiles/rch_ams.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/rch_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/rch_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rch_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rch_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rch_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

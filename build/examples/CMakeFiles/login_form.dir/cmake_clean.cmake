@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/login_form.dir/login_form.cpp.o"
+  "CMakeFiles/login_form.dir/login_form.cpp.o.d"
+  "login_form"
+  "login_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/login_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

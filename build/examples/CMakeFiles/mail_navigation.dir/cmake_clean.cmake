@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_navigation.dir/mail_navigation.cpp.o"
+  "CMakeFiles/mail_navigation.dir/mail_navigation.cpp.o.d"
+  "mail_navigation"
+  "mail_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

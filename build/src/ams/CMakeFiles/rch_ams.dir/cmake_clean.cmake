@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_ams.dir/activity_stack.cc.o"
+  "CMakeFiles/rch_ams.dir/activity_stack.cc.o.d"
+  "CMakeFiles/rch_ams.dir/activity_starter.cc.o"
+  "CMakeFiles/rch_ams.dir/activity_starter.cc.o.d"
+  "CMakeFiles/rch_ams.dir/atms.cc.o"
+  "CMakeFiles/rch_ams.dir/atms.cc.o.d"
+  "librch_ams.a"
+  "librch_ams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_ams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/activity.cc" "src/app/CMakeFiles/rch_app.dir/activity.cc.o" "gcc" "src/app/CMakeFiles/rch_app.dir/activity.cc.o.d"
+  "/root/repo/src/app/activity_thread.cc" "src/app/CMakeFiles/rch_app.dir/activity_thread.cc.o" "gcc" "src/app/CMakeFiles/rch_app.dir/activity_thread.cc.o.d"
+  "/root/repo/src/app/async_task.cc" "src/app/CMakeFiles/rch_app.dir/async_task.cc.o" "gcc" "src/app/CMakeFiles/rch_app.dir/async_task.cc.o.d"
+  "/root/repo/src/app/dialog.cc" "src/app/CMakeFiles/rch_app.dir/dialog.cc.o" "gcc" "src/app/CMakeFiles/rch_app.dir/dialog.cc.o.d"
+  "/root/repo/src/app/fragment.cc" "src/app/CMakeFiles/rch_app.dir/fragment.cc.o" "gcc" "src/app/CMakeFiles/rch_app.dir/fragment.cc.o.d"
+  "/root/repo/src/app/lifecycle.cc" "src/app/CMakeFiles/rch_app.dir/lifecycle.cc.o" "gcc" "src/app/CMakeFiles/rch_app.dir/lifecycle.cc.o.d"
+  "/root/repo/src/app/window.cc" "src/app/CMakeFiles/rch_app.dir/window.cc.o" "gcc" "src/app/CMakeFiles/rch_app.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/view/CMakeFiles/rch_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rch_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rch_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rch_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_app.dir/activity.cc.o"
+  "CMakeFiles/rch_app.dir/activity.cc.o.d"
+  "CMakeFiles/rch_app.dir/activity_thread.cc.o"
+  "CMakeFiles/rch_app.dir/activity_thread.cc.o.d"
+  "CMakeFiles/rch_app.dir/async_task.cc.o"
+  "CMakeFiles/rch_app.dir/async_task.cc.o.d"
+  "CMakeFiles/rch_app.dir/dialog.cc.o"
+  "CMakeFiles/rch_app.dir/dialog.cc.o.d"
+  "CMakeFiles/rch_app.dir/fragment.cc.o"
+  "CMakeFiles/rch_app.dir/fragment.cc.o.d"
+  "CMakeFiles/rch_app.dir/lifecycle.cc.o"
+  "CMakeFiles/rch_app.dir/lifecycle.cc.o.d"
+  "CMakeFiles/rch_app.dir/window.cc.o"
+  "CMakeFiles/rch_app.dir/window.cc.o.d"
+  "librch_app.a"
+  "librch_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_builder.cc" "src/apps/CMakeFiles/rch_apps.dir/app_builder.cc.o" "gcc" "src/apps/CMakeFiles/rch_apps.dir/app_builder.cc.o.d"
+  "/root/repo/src/apps/benchmark_app.cc" "src/apps/CMakeFiles/rch_apps.dir/benchmark_app.cc.o" "gcc" "src/apps/CMakeFiles/rch_apps.dir/benchmark_app.cc.o.d"
+  "/root/repo/src/apps/corpus_top100.cc" "src/apps/CMakeFiles/rch_apps.dir/corpus_top100.cc.o" "gcc" "src/apps/CMakeFiles/rch_apps.dir/corpus_top100.cc.o.d"
+  "/root/repo/src/apps/corpus_tp37.cc" "src/apps/CMakeFiles/rch_apps.dir/corpus_tp37.cc.o" "gcc" "src/apps/CMakeFiles/rch_apps.dir/corpus_tp37.cc.o.d"
+  "/root/repo/src/apps/simulated_app.cc" "src/apps/CMakeFiles/rch_apps.dir/simulated_app.cc.o" "gcc" "src/apps/CMakeFiles/rch_apps.dir/simulated_app.cc.o.d"
+  "/root/repo/src/apps/user_driver.cc" "src/apps/CMakeFiles/rch_apps.dir/user_driver.cc.o" "gcc" "src/apps/CMakeFiles/rch_apps.dir/user_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/rch_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/rch_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rch_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rch_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rch_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

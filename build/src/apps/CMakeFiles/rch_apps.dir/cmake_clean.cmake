@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_apps.dir/app_builder.cc.o"
+  "CMakeFiles/rch_apps.dir/app_builder.cc.o.d"
+  "CMakeFiles/rch_apps.dir/benchmark_app.cc.o"
+  "CMakeFiles/rch_apps.dir/benchmark_app.cc.o.d"
+  "CMakeFiles/rch_apps.dir/corpus_top100.cc.o"
+  "CMakeFiles/rch_apps.dir/corpus_top100.cc.o.d"
+  "CMakeFiles/rch_apps.dir/corpus_tp37.cc.o"
+  "CMakeFiles/rch_apps.dir/corpus_tp37.cc.o.d"
+  "CMakeFiles/rch_apps.dir/simulated_app.cc.o"
+  "CMakeFiles/rch_apps.dir/simulated_app.cc.o.d"
+  "CMakeFiles/rch_apps.dir/user_driver.cc.o"
+  "CMakeFiles/rch_apps.dir/user_driver.cc.o.d"
+  "librch_apps.a"
+  "librch_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_baseline.dir/runtimedroid.cc.o"
+  "CMakeFiles/rch_baseline.dir/runtimedroid.cc.o.d"
+  "librch_baseline.a"
+  "librch_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/bundle.cc" "src/os/CMakeFiles/rch_os.dir/bundle.cc.o" "gcc" "src/os/CMakeFiles/rch_os.dir/bundle.cc.o.d"
+  "/root/repo/src/os/handler.cc" "src/os/CMakeFiles/rch_os.dir/handler.cc.o" "gcc" "src/os/CMakeFiles/rch_os.dir/handler.cc.o.d"
+  "/root/repo/src/os/ipc.cc" "src/os/CMakeFiles/rch_os.dir/ipc.cc.o" "gcc" "src/os/CMakeFiles/rch_os.dir/ipc.cc.o.d"
+  "/root/repo/src/os/looper.cc" "src/os/CMakeFiles/rch_os.dir/looper.cc.o" "gcc" "src/os/CMakeFiles/rch_os.dir/looper.cc.o.d"
+  "/root/repo/src/os/message_queue.cc" "src/os/CMakeFiles/rch_os.dir/message_queue.cc.o" "gcc" "src/os/CMakeFiles/rch_os.dir/message_queue.cc.o.d"
+  "/root/repo/src/os/parcel.cc" "src/os/CMakeFiles/rch_os.dir/parcel.cc.o" "gcc" "src/os/CMakeFiles/rch_os.dir/parcel.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/rch_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/rch_os.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/rch_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

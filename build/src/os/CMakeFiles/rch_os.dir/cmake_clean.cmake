@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_os.dir/bundle.cc.o"
+  "CMakeFiles/rch_os.dir/bundle.cc.o.d"
+  "CMakeFiles/rch_os.dir/handler.cc.o"
+  "CMakeFiles/rch_os.dir/handler.cc.o.d"
+  "CMakeFiles/rch_os.dir/ipc.cc.o"
+  "CMakeFiles/rch_os.dir/ipc.cc.o.d"
+  "CMakeFiles/rch_os.dir/looper.cc.o"
+  "CMakeFiles/rch_os.dir/looper.cc.o.d"
+  "CMakeFiles/rch_os.dir/message_queue.cc.o"
+  "CMakeFiles/rch_os.dir/message_queue.cc.o.d"
+  "CMakeFiles/rch_os.dir/parcel.cc.o"
+  "CMakeFiles/rch_os.dir/parcel.cc.o.d"
+  "CMakeFiles/rch_os.dir/scheduler.cc.o"
+  "CMakeFiles/rch_os.dir/scheduler.cc.o.d"
+  "librch_os.a"
+  "librch_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

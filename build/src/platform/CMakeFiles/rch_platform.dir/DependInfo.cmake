@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/logging.cc" "src/platform/CMakeFiles/rch_platform.dir/logging.cc.o" "gcc" "src/platform/CMakeFiles/rch_platform.dir/logging.cc.o.d"
+  "/root/repo/src/platform/rng.cc" "src/platform/CMakeFiles/rch_platform.dir/rng.cc.o" "gcc" "src/platform/CMakeFiles/rch_platform.dir/rng.cc.o.d"
+  "/root/repo/src/platform/stats.cc" "src/platform/CMakeFiles/rch_platform.dir/stats.cc.o" "gcc" "src/platform/CMakeFiles/rch_platform.dir/stats.cc.o.d"
+  "/root/repo/src/platform/status.cc" "src/platform/CMakeFiles/rch_platform.dir/status.cc.o" "gcc" "src/platform/CMakeFiles/rch_platform.dir/status.cc.o.d"
+  "/root/repo/src/platform/strings.cc" "src/platform/CMakeFiles/rch_platform.dir/strings.cc.o" "gcc" "src/platform/CMakeFiles/rch_platform.dir/strings.cc.o.d"
+  "/root/repo/src/platform/time.cc" "src/platform/CMakeFiles/rch_platform.dir/time.cc.o" "gcc" "src/platform/CMakeFiles/rch_platform.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

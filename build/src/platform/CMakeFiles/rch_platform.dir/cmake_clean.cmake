@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_platform.dir/logging.cc.o"
+  "CMakeFiles/rch_platform.dir/logging.cc.o.d"
+  "CMakeFiles/rch_platform.dir/rng.cc.o"
+  "CMakeFiles/rch_platform.dir/rng.cc.o.d"
+  "CMakeFiles/rch_platform.dir/stats.cc.o"
+  "CMakeFiles/rch_platform.dir/stats.cc.o.d"
+  "CMakeFiles/rch_platform.dir/status.cc.o"
+  "CMakeFiles/rch_platform.dir/status.cc.o.d"
+  "CMakeFiles/rch_platform.dir/strings.cc.o"
+  "CMakeFiles/rch_platform.dir/strings.cc.o.d"
+  "CMakeFiles/rch_platform.dir/time.cc.o"
+  "CMakeFiles/rch_platform.dir/time.cc.o.d"
+  "librch_platform.a"
+  "librch_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

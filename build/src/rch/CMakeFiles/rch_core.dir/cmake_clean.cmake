@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_core.dir/lazy_migrator.cc.o"
+  "CMakeFiles/rch_core.dir/lazy_migrator.cc.o.d"
+  "CMakeFiles/rch_core.dir/rch_client_handler.cc.o"
+  "CMakeFiles/rch_core.dir/rch_client_handler.cc.o.d"
+  "CMakeFiles/rch_core.dir/shadow_gc.cc.o"
+  "CMakeFiles/rch_core.dir/shadow_gc.cc.o.d"
+  "CMakeFiles/rch_core.dir/view_tree_mapper.cc.o"
+  "CMakeFiles/rch_core.dir/view_tree_mapper.cc.o.d"
+  "librch_core.a"
+  "librch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/configuration.cc" "src/resources/CMakeFiles/rch_resources.dir/configuration.cc.o" "gcc" "src/resources/CMakeFiles/rch_resources.dir/configuration.cc.o.d"
+  "/root/repo/src/resources/resource_manager.cc" "src/resources/CMakeFiles/rch_resources.dir/resource_manager.cc.o" "gcc" "src/resources/CMakeFiles/rch_resources.dir/resource_manager.cc.o.d"
+  "/root/repo/src/resources/resource_table.cc" "src/resources/CMakeFiles/rch_resources.dir/resource_table.cc.o" "gcc" "src/resources/CMakeFiles/rch_resources.dir/resource_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/rch_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

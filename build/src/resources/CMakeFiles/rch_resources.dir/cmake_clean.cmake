@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_resources.dir/configuration.cc.o"
+  "CMakeFiles/rch_resources.dir/configuration.cc.o.d"
+  "CMakeFiles/rch_resources.dir/resource_manager.cc.o"
+  "CMakeFiles/rch_resources.dir/resource_manager.cc.o.d"
+  "CMakeFiles/rch_resources.dir/resource_table.cc.o"
+  "CMakeFiles/rch_resources.dir/resource_table.cc.o.d"
+  "librch_resources.a"
+  "librch_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

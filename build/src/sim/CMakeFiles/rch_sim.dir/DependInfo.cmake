@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/android_system.cc" "src/sim/CMakeFiles/rch_sim.dir/android_system.cc.o" "gcc" "src/sim/CMakeFiles/rch_sim.dir/android_system.cc.o.d"
+  "/root/repo/src/sim/cpu_tracker.cc" "src/sim/CMakeFiles/rch_sim.dir/cpu_tracker.cc.o" "gcc" "src/sim/CMakeFiles/rch_sim.dir/cpu_tracker.cc.o.d"
+  "/root/repo/src/sim/device_model.cc" "src/sim/CMakeFiles/rch_sim.dir/device_model.cc.o" "gcc" "src/sim/CMakeFiles/rch_sim.dir/device_model.cc.o.d"
+  "/root/repo/src/sim/energy_model.cc" "src/sim/CMakeFiles/rch_sim.dir/energy_model.cc.o" "gcc" "src/sim/CMakeFiles/rch_sim.dir/energy_model.cc.o.d"
+  "/root/repo/src/sim/memory_sampler.cc" "src/sim/CMakeFiles/rch_sim.dir/memory_sampler.cc.o" "gcc" "src/sim/CMakeFiles/rch_sim.dir/memory_sampler.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/rch_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/rch_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rch/CMakeFiles/rch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/rch_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rch_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ams/CMakeFiles/rch_ams.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/rch_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/rch_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rch_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rch_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rch_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

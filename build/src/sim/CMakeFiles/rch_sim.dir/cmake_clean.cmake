@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_sim.dir/android_system.cc.o"
+  "CMakeFiles/rch_sim.dir/android_system.cc.o.d"
+  "CMakeFiles/rch_sim.dir/cpu_tracker.cc.o"
+  "CMakeFiles/rch_sim.dir/cpu_tracker.cc.o.d"
+  "CMakeFiles/rch_sim.dir/device_model.cc.o"
+  "CMakeFiles/rch_sim.dir/device_model.cc.o.d"
+  "CMakeFiles/rch_sim.dir/energy_model.cc.o"
+  "CMakeFiles/rch_sim.dir/energy_model.cc.o.d"
+  "CMakeFiles/rch_sim.dir/memory_sampler.cc.o"
+  "CMakeFiles/rch_sim.dir/memory_sampler.cc.o.d"
+  "CMakeFiles/rch_sim.dir/trace.cc.o"
+  "CMakeFiles/rch_sim.dir/trace.cc.o.d"
+  "librch_sim.a"
+  "librch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

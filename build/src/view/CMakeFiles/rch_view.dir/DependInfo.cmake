@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/view/extra_widgets.cc" "src/view/CMakeFiles/rch_view.dir/extra_widgets.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/extra_widgets.cc.o.d"
+  "/root/repo/src/view/image_view.cc" "src/view/CMakeFiles/rch_view.dir/image_view.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/image_view.cc.o.d"
+  "/root/repo/src/view/layout_inflater.cc" "src/view/CMakeFiles/rch_view.dir/layout_inflater.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/layout_inflater.cc.o.d"
+  "/root/repo/src/view/list_view.cc" "src/view/CMakeFiles/rch_view.dir/list_view.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/list_view.cc.o.d"
+  "/root/repo/src/view/progress_bar.cc" "src/view/CMakeFiles/rch_view.dir/progress_bar.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/progress_bar.cc.o.d"
+  "/root/repo/src/view/text_view.cc" "src/view/CMakeFiles/rch_view.dir/text_view.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/text_view.cc.o.d"
+  "/root/repo/src/view/video_view.cc" "src/view/CMakeFiles/rch_view.dir/video_view.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/video_view.cc.o.d"
+  "/root/repo/src/view/view.cc" "src/view/CMakeFiles/rch_view.dir/view.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/view.cc.o.d"
+  "/root/repo/src/view/view_group.cc" "src/view/CMakeFiles/rch_view.dir/view_group.cc.o" "gcc" "src/view/CMakeFiles/rch_view.dir/view_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rch_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rch_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rch_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

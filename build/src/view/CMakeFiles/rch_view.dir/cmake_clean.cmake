@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_view.dir/extra_widgets.cc.o"
+  "CMakeFiles/rch_view.dir/extra_widgets.cc.o.d"
+  "CMakeFiles/rch_view.dir/image_view.cc.o"
+  "CMakeFiles/rch_view.dir/image_view.cc.o.d"
+  "CMakeFiles/rch_view.dir/layout_inflater.cc.o"
+  "CMakeFiles/rch_view.dir/layout_inflater.cc.o.d"
+  "CMakeFiles/rch_view.dir/list_view.cc.o"
+  "CMakeFiles/rch_view.dir/list_view.cc.o.d"
+  "CMakeFiles/rch_view.dir/progress_bar.cc.o"
+  "CMakeFiles/rch_view.dir/progress_bar.cc.o.d"
+  "CMakeFiles/rch_view.dir/text_view.cc.o"
+  "CMakeFiles/rch_view.dir/text_view.cc.o.d"
+  "CMakeFiles/rch_view.dir/video_view.cc.o"
+  "CMakeFiles/rch_view.dir/video_view.cc.o.d"
+  "CMakeFiles/rch_view.dir/view.cc.o"
+  "CMakeFiles/rch_view.dir/view.cc.o.d"
+  "CMakeFiles/rch_view.dir/view_group.cc.o"
+  "CMakeFiles/rch_view.dir/view_group.cc.o.d"
+  "librch_view.a"
+  "librch_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("platform")
+subdirs("os")
+subdirs("resources")
+subdirs("view")
+subdirs("app")
+subdirs("ams")
+subdirs("rch")
+subdirs("apps")
+subdirs("sim")
+subdirs("integration")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_stack_test.dir/activity_stack_test.cc.o"
+  "CMakeFiles/activity_stack_test.dir/activity_stack_test.cc.o.d"
+  "activity_stack_test"
+  "activity_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_starter_test.dir/activity_starter_test.cc.o"
+  "CMakeFiles/activity_starter_test.dir/activity_starter_test.cc.o.d"
+  "activity_starter_test"
+  "activity_starter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_starter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

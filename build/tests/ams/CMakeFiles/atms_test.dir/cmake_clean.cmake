@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atms_test.dir/atms_test.cc.o"
+  "CMakeFiles/atms_test.dir/atms_test.cc.o.d"
+  "atms_test"
+  "atms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ams
+# Build directory: /root/repo/build/tests/ams
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(activity_stack_test "/root/repo/build/tests/ams/activity_stack_test")
+set_tests_properties(activity_stack_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/ams/CMakeLists.txt;1;rch_add_test;/root/repo/tests/ams/CMakeLists.txt;0;")
+add_test(atms_test "/root/repo/build/tests/ams/atms_test")
+set_tests_properties(atms_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/ams/CMakeLists.txt;2;rch_add_test;/root/repo/tests/ams/CMakeLists.txt;0;")
+add_test(activity_starter_test "/root/repo/build/tests/ams/activity_starter_test")
+set_tests_properties(activity_starter_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/ams/CMakeLists.txt;3;rch_add_test;/root/repo/tests/ams/CMakeLists.txt;0;")

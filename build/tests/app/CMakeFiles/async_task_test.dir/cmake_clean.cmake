@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_task_test.dir/async_task_test.cc.o"
+  "CMakeFiles/async_task_test.dir/async_task_test.cc.o.d"
+  "async_task_test"
+  "async_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialog_test.dir/dialog_test.cc.o"
+  "CMakeFiles/dialog_test.dir/dialog_test.cc.o.d"
+  "dialog_test"
+  "dialog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

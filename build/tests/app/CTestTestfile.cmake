@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/app
+# Build directory: /root/repo/build/tests/app
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lifecycle_test "/root/repo/build/tests/app/lifecycle_test")
+set_tests_properties(lifecycle_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/app/CMakeLists.txt;1;rch_add_test;/root/repo/tests/app/CMakeLists.txt;0;")
+add_test(window_test "/root/repo/build/tests/app/window_test")
+set_tests_properties(window_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/app/CMakeLists.txt;2;rch_add_test;/root/repo/tests/app/CMakeLists.txt;0;")
+add_test(activity_test "/root/repo/build/tests/app/activity_test")
+set_tests_properties(activity_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/app/CMakeLists.txt;3;rch_add_test;/root/repo/tests/app/CMakeLists.txt;0;")
+add_test(async_task_test "/root/repo/build/tests/app/async_task_test")
+set_tests_properties(async_task_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/app/CMakeLists.txt;4;rch_add_test;/root/repo/tests/app/CMakeLists.txt;0;")
+add_test(activity_thread_test "/root/repo/build/tests/app/activity_thread_test")
+set_tests_properties(activity_thread_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/app/CMakeLists.txt;5;rch_add_test;/root/repo/tests/app/CMakeLists.txt;0;")
+add_test(fragment_test "/root/repo/build/tests/app/fragment_test")
+set_tests_properties(fragment_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/app/CMakeLists.txt;6;rch_add_test;/root/repo/tests/app/CMakeLists.txt;0;")
+add_test(dialog_test "/root/repo/build/tests/app/dialog_test")
+set_tests_properties(dialog_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/app/CMakeLists.txt;7;rch_add_test;/root/repo/tests/app/CMakeLists.txt;0;")

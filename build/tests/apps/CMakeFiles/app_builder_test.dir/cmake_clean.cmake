@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_builder_test.dir/app_builder_test.cc.o"
+  "CMakeFiles/app_builder_test.dir/app_builder_test.cc.o.d"
+  "app_builder_test"
+  "app_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtimedroid_model_test.dir/runtimedroid_model_test.cc.o"
+  "CMakeFiles/runtimedroid_model_test.dir/runtimedroid_model_test.cc.o.d"
+  "runtimedroid_model_test"
+  "runtimedroid_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtimedroid_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_app_test.dir/simulated_app_test.cc.o"
+  "CMakeFiles/simulated_app_test.dir/simulated_app_test.cc.o.d"
+  "simulated_app_test"
+  "simulated_app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_driver_test.dir/user_driver_test.cc.o"
+  "CMakeFiles/user_driver_test.dir/user_driver_test.cc.o.d"
+  "user_driver_test"
+  "user_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/apps
+# Build directory: /root/repo/build/tests/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(corpus_test "/root/repo/build/tests/apps/corpus_test")
+set_tests_properties(corpus_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/apps/CMakeLists.txt;1;rch_add_test;/root/repo/tests/apps/CMakeLists.txt;0;")
+add_test(app_builder_test "/root/repo/build/tests/apps/app_builder_test")
+set_tests_properties(app_builder_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/apps/CMakeLists.txt;2;rch_add_test;/root/repo/tests/apps/CMakeLists.txt;0;")
+add_test(simulated_app_test "/root/repo/build/tests/apps/simulated_app_test")
+set_tests_properties(simulated_app_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/apps/CMakeLists.txt;3;rch_add_test;/root/repo/tests/apps/CMakeLists.txt;0;")
+add_test(user_driver_test "/root/repo/build/tests/apps/user_driver_test")
+set_tests_properties(user_driver_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/apps/CMakeLists.txt;4;rch_add_test;/root/repo/tests/apps/CMakeLists.txt;0;")
+add_test(runtimedroid_model_test "/root/repo/build/tests/apps/runtimedroid_model_test")
+set_tests_properties(runtimedroid_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/apps/CMakeLists.txt;5;rch_add_test;/root/repo/tests/apps/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_workload_test.dir/fuzz_workload_test.cc.o"
+  "CMakeFiles/fuzz_workload_test.dir/fuzz_workload_test.cc.o.d"
+  "fuzz_workload_test"
+  "fuzz_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

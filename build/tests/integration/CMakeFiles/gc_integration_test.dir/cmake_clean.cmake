@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_integration_test.dir/gc_integration_test.cc.o"
+  "CMakeFiles/gc_integration_test.dir/gc_integration_test.cc.o.d"
+  "gc_integration_test"
+  "gc_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

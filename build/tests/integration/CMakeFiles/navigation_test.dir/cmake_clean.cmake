@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation_test.dir/navigation_test.cc.o"
+  "CMakeFiles/navigation_test.dir/navigation_test.cc.o.d"
+  "navigation_test"
+  "navigation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

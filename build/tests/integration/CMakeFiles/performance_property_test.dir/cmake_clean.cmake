@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_property_test.dir/performance_property_test.cc.o"
+  "CMakeFiles/performance_property_test.dir/performance_property_test.cc.o.d"
+  "performance_property_test"
+  "performance_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

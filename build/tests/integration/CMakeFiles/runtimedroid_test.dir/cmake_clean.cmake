@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtimedroid_test.dir/runtimedroid_test.cc.o"
+  "CMakeFiles/runtimedroid_test.dir/runtimedroid_test.cc.o.d"
+  "runtimedroid_test"
+  "runtimedroid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtimedroid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

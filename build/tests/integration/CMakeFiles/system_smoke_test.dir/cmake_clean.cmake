@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_smoke_test.dir/system_smoke_test.cc.o"
+  "CMakeFiles/system_smoke_test.dir/system_smoke_test.cc.o.d"
+  "system_smoke_test"
+  "system_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

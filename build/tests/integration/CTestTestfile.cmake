@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(system_smoke_test "/root/repo/build/tests/integration/system_smoke_test")
+set_tests_properties(system_smoke_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;1;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(effectiveness_test "/root/repo/build/tests/integration/effectiveness_test")
+set_tests_properties(effectiveness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;2;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(performance_property_test "/root/repo/build/tests/integration/performance_property_test")
+set_tests_properties(performance_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;3;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(gc_integration_test "/root/repo/build/tests/integration/gc_integration_test")
+set_tests_properties(gc_integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;4;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(crash_matrix_test "/root/repo/build/tests/integration/crash_matrix_test")
+set_tests_properties(crash_matrix_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;5;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(multi_app_test "/root/repo/build/tests/integration/multi_app_test")
+set_tests_properties(multi_app_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;6;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(fuzz_workload_test "/root/repo/build/tests/integration/fuzz_workload_test")
+set_tests_properties(fuzz_workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;7;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(navigation_test "/root/repo/build/tests/integration/navigation_test")
+set_tests_properties(navigation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;8;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(runtimedroid_test "/root/repo/build/tests/integration/runtimedroid_test")
+set_tests_properties(runtimedroid_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;9;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(soak_test "/root/repo/build/tests/integration/soak_test")
+set_tests_properties(soak_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;10;rch_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handler_test.dir/handler_test.cc.o"
+  "CMakeFiles/handler_test.dir/handler_test.cc.o.d"
+  "handler_test"
+  "handler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/looper_test.dir/looper_test.cc.o"
+  "CMakeFiles/looper_test.dir/looper_test.cc.o.d"
+  "looper_test"
+  "looper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/looper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_test.dir/parcel_test.cc.o"
+  "CMakeFiles/parcel_test.dir/parcel_test.cc.o.d"
+  "parcel_test"
+  "parcel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

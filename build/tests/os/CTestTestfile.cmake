@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/os
+# Build directory: /root/repo/build/tests/os
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(scheduler_test "/root/repo/build/tests/os/scheduler_test")
+set_tests_properties(scheduler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/os/CMakeLists.txt;1;rch_add_test;/root/repo/tests/os/CMakeLists.txt;0;")
+add_test(message_queue_test "/root/repo/build/tests/os/message_queue_test")
+set_tests_properties(message_queue_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/os/CMakeLists.txt;2;rch_add_test;/root/repo/tests/os/CMakeLists.txt;0;")
+add_test(looper_test "/root/repo/build/tests/os/looper_test")
+set_tests_properties(looper_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/os/CMakeLists.txt;3;rch_add_test;/root/repo/tests/os/CMakeLists.txt;0;")
+add_test(handler_test "/root/repo/build/tests/os/handler_test")
+set_tests_properties(handler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/os/CMakeLists.txt;4;rch_add_test;/root/repo/tests/os/CMakeLists.txt;0;")
+add_test(ipc_test "/root/repo/build/tests/os/ipc_test")
+set_tests_properties(ipc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/os/CMakeLists.txt;5;rch_add_test;/root/repo/tests/os/CMakeLists.txt;0;")
+add_test(bundle_test "/root/repo/build/tests/os/bundle_test")
+set_tests_properties(bundle_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/os/CMakeLists.txt;6;rch_add_test;/root/repo/tests/os/CMakeLists.txt;0;")
+add_test(parcel_test "/root/repo/build/tests/os/parcel_test")
+set_tests_properties(parcel_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/os/CMakeLists.txt;7;rch_add_test;/root/repo/tests/os/CMakeLists.txt;0;")

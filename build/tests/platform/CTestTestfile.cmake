@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/platform
+# Build directory: /root/repo/build/tests/platform
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rng_test "/root/repo/build/tests/platform/rng_test")
+set_tests_properties(rng_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/platform/CMakeLists.txt;1;rch_add_test;/root/repo/tests/platform/CMakeLists.txt;0;")
+add_test(stats_test "/root/repo/build/tests/platform/stats_test")
+set_tests_properties(stats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/platform/CMakeLists.txt;2;rch_add_test;/root/repo/tests/platform/CMakeLists.txt;0;")
+add_test(strings_test "/root/repo/build/tests/platform/strings_test")
+set_tests_properties(strings_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/platform/CMakeLists.txt;3;rch_add_test;/root/repo/tests/platform/CMakeLists.txt;0;")
+add_test(status_test "/root/repo/build/tests/platform/status_test")
+set_tests_properties(status_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/platform/CMakeLists.txt;4;rch_add_test;/root/repo/tests/platform/CMakeLists.txt;0;")
+add_test(time_test "/root/repo/build/tests/platform/time_test")
+set_tests_properties(time_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/platform/CMakeLists.txt;5;rch_add_test;/root/repo/tests/platform/CMakeLists.txt;0;")
+add_test(telemetry_test "/root/repo/build/tests/platform/telemetry_test")
+set_tests_properties(telemetry_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/platform/CMakeLists.txt;6;rch_add_test;/root/repo/tests/platform/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_migrator_test.dir/lazy_migrator_test.cc.o"
+  "CMakeFiles/lazy_migrator_test.dir/lazy_migrator_test.cc.o.d"
+  "lazy_migrator_test"
+  "lazy_migrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_migrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

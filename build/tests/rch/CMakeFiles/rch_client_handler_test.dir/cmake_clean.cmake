@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rch_client_handler_test.dir/rch_client_handler_test.cc.o"
+  "CMakeFiles/rch_client_handler_test.dir/rch_client_handler_test.cc.o.d"
+  "rch_client_handler_test"
+  "rch_client_handler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rch_client_handler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

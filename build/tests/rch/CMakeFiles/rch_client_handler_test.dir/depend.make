@@ -1,0 +1,2 @@
+# Empty dependencies file for rch_client_handler_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_gc_test.dir/shadow_gc_test.cc.o"
+  "CMakeFiles/shadow_gc_test.dir/shadow_gc_test.cc.o.d"
+  "shadow_gc_test"
+  "shadow_gc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

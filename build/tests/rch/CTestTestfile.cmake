@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rch
+# Build directory: /root/repo/build/tests/rch
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(view_tree_mapper_test "/root/repo/build/tests/rch/view_tree_mapper_test")
+set_tests_properties(view_tree_mapper_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rch/CMakeLists.txt;1;rch_add_test;/root/repo/tests/rch/CMakeLists.txt;0;")
+add_test(lazy_migrator_test "/root/repo/build/tests/rch/lazy_migrator_test")
+set_tests_properties(lazy_migrator_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rch/CMakeLists.txt;2;rch_add_test;/root/repo/tests/rch/CMakeLists.txt;0;")
+add_test(shadow_gc_test "/root/repo/build/tests/rch/shadow_gc_test")
+set_tests_properties(shadow_gc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rch/CMakeLists.txt;3;rch_add_test;/root/repo/tests/rch/CMakeLists.txt;0;")
+add_test(rch_client_handler_test "/root/repo/build/tests/rch/rch_client_handler_test")
+set_tests_properties(rch_client_handler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rch/CMakeLists.txt;4;rch_add_test;/root/repo/tests/rch/CMakeLists.txt;0;")

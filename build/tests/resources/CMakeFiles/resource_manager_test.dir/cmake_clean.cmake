@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_manager_test.dir/resource_manager_test.cc.o"
+  "CMakeFiles/resource_manager_test.dir/resource_manager_test.cc.o.d"
+  "resource_manager_test"
+  "resource_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

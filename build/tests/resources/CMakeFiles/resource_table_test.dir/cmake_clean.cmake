@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_table_test.dir/resource_table_test.cc.o"
+  "CMakeFiles/resource_table_test.dir/resource_table_test.cc.o.d"
+  "resource_table_test"
+  "resource_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

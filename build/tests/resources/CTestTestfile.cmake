@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/resources
+# Build directory: /root/repo/build/tests/resources
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(configuration_test "/root/repo/build/tests/resources/configuration_test")
+set_tests_properties(configuration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/resources/CMakeLists.txt;1;rch_add_test;/root/repo/tests/resources/CMakeLists.txt;0;")
+add_test(resource_table_test "/root/repo/build/tests/resources/resource_table_test")
+set_tests_properties(resource_table_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/resources/CMakeLists.txt;2;rch_add_test;/root/repo/tests/resources/CMakeLists.txt;0;")
+add_test(resource_manager_test "/root/repo/build/tests/resources/resource_manager_test")
+set_tests_properties(resource_manager_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/resources/CMakeLists.txt;3;rch_add_test;/root/repo/tests/resources/CMakeLists.txt;0;")

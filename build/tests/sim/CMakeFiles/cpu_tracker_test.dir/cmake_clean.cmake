@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_tracker_test.dir/cpu_tracker_test.cc.o"
+  "CMakeFiles/cpu_tracker_test.dir/cpu_tracker_test.cc.o.d"
+  "cpu_tracker_test"
+  "cpu_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_sampler_test.dir/memory_sampler_test.cc.o"
+  "CMakeFiles/memory_sampler_test.dir/memory_sampler_test.cc.o.d"
+  "memory_sampler_test"
+  "memory_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

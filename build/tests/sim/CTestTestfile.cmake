@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(device_model_test "/root/repo/build/tests/sim/device_model_test")
+set_tests_properties(device_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/sim/CMakeLists.txt;1;rch_add_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(trace_test "/root/repo/build/tests/sim/trace_test")
+set_tests_properties(trace_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/sim/CMakeLists.txt;2;rch_add_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(cpu_tracker_test "/root/repo/build/tests/sim/cpu_tracker_test")
+set_tests_properties(cpu_tracker_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/sim/CMakeLists.txt;3;rch_add_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(memory_sampler_test "/root/repo/build/tests/sim/memory_sampler_test")
+set_tests_properties(memory_sampler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/sim/CMakeLists.txt;4;rch_add_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(energy_model_test "/root/repo/build/tests/sim/energy_model_test")
+set_tests_properties(energy_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/sim/CMakeLists.txt;5;rch_add_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(android_system_test "/root/repo/build/tests/sim/android_system_test")
+set_tests_properties(android_system_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/sim/CMakeLists.txt;6;rch_add_test;/root/repo/tests/sim/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_widgets_test.dir/extra_widgets_test.cc.o"
+  "CMakeFiles/extra_widgets_test.dir/extra_widgets_test.cc.o.d"
+  "extra_widgets_test"
+  "extra_widgets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_widgets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_inflater_test.dir/layout_inflater_test.cc.o"
+  "CMakeFiles/layout_inflater_test.dir/layout_inflater_test.cc.o.d"
+  "layout_inflater_test"
+  "layout_inflater_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_inflater_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

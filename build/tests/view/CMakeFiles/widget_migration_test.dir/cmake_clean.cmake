@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widget_migration_test.dir/widget_migration_test.cc.o"
+  "CMakeFiles/widget_migration_test.dir/widget_migration_test.cc.o.d"
+  "widget_migration_test"
+  "widget_migration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widget_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widget_state_test.dir/widget_state_test.cc.o"
+  "CMakeFiles/widget_state_test.dir/widget_state_test.cc.o.d"
+  "widget_state_test"
+  "widget_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widget_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/view
+# Build directory: /root/repo/build/tests/view
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(view_test "/root/repo/build/tests/view/view_test")
+set_tests_properties(view_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;1;rch_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
+add_test(view_group_test "/root/repo/build/tests/view/view_group_test")
+set_tests_properties(view_group_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;2;rch_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
+add_test(widget_state_test "/root/repo/build/tests/view/widget_state_test")
+set_tests_properties(widget_state_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;3;rch_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
+add_test(widget_migration_test "/root/repo/build/tests/view/widget_migration_test")
+set_tests_properties(widget_migration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;4;rch_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
+add_test(layout_inflater_test "/root/repo/build/tests/view/layout_inflater_test")
+set_tests_properties(layout_inflater_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;5;rch_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
+add_test(extra_widgets_test "/root/repo/build/tests/view/extra_widgets_test")
+set_tests_properties(extra_widgets_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;6;rch_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
+add_test(tree_fuzz_test "/root/repo/build/tests/view/tree_fuzz_test")
+set_tests_properties(tree_fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;7;rch_add_test;/root/repo/tests/view/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/rchdroid_shell.cc" "tools/CMakeFiles/rchdroid_shell.dir/rchdroid_shell.cc.o" "gcc" "tools/CMakeFiles/rchdroid_shell.dir/rchdroid_shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rch/CMakeFiles/rch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ams/CMakeFiles/rch_ams.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/rch_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/rch_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/rch_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rch_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rch_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rch_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/rch_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

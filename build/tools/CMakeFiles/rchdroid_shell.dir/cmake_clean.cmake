@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rchdroid_shell.dir/rchdroid_shell.cc.o"
+  "CMakeFiles/rchdroid_shell.dir/rchdroid_shell.cc.o.d"
+  "rchdroid_shell"
+  "rchdroid_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rchdroid_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
