@@ -12,6 +12,7 @@
  */
 #include <cstdio>
 
+#include "analysis/analyzer.h"
 #include "platform/stats.h"
 #include "sim/android_system.h"
 
@@ -69,8 +70,9 @@ runPolicy(const char *label, RchConfig rch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    analysis::CheckMode check(argc, argv);
     std::printf("one rotation every 12 s for 3 minutes, three GC "
                 "policies:\n\n");
 
@@ -103,5 +105,5 @@ main()
                 "cadence (flips=%llu)\n  at hoarder-level latency without "
                 "hoarding across long idles.\n",
                 static_cast<unsigned long long>(paper_result.flips));
-    return 0;
+    return check.finish();
 }

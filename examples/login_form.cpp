@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "analysis/analyzer.h"
 #include "sim/android_system.h"
 #include "view/text_view.h"
 #include "view/view_group.h"
@@ -124,13 +125,14 @@ runOn(RuntimeChangeMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    analysis::CheckMode check(argc, argv);
     std::printf("half-typed login form through a resize and a language "
                 "switch:\n\n");
     runOn(RuntimeChangeMode::Restart);
     runOn(RuntimeChangeMode::RchDroid);
     std::printf("\nthe Fig. 13(a) loss class (id-less text box) and its "
                 "RCHDroid fix.\n");
-    return 0;
+    return check.finish();
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "analysis/analyzer.h"
 #include "sim/android_system.h"
 #include "view/list_view.h"
 #include "view/text_view.h"
@@ -83,8 +84,9 @@ report(sim::AndroidSystem &device, const char *step)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    analysis::CheckMode check(argc, argv);
     sim::SystemOptions options;
     options.mode = RuntimeChangeMode::RchDroid;
     sim::AndroidSystem device(options);
@@ -133,5 +135,5 @@ main()
     auto resumed = device.foregroundActivityOf(kProcess);
     std::printf("\nsearch box after the whole journey: \"%s\"\n",
                 resumed->findViewByIdAs<EditText>("search")->text().c_str());
-    return 0;
+    return check.finish();
 }

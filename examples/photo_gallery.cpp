@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "sim/android_system.h"
 #include "view/image_view.h"
 #include "view/text_view.h"
@@ -127,11 +128,12 @@ runOn(RuntimeChangeMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    analysis::CheckMode check(argc, argv);
     std::printf("rotating a photo gallery mid-download (Fig. 1 of the "
                 "paper):\n\n");
     runOn(RuntimeChangeMode::Restart);
     runOn(RuntimeChangeMode::RchDroid);
-    return 0;
+    return check.finish();
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "analysis/analyzer.h"
 #include "sim/android_system.h"
 #include "view/text_view.h"
 #include "view/view_group.h"
@@ -96,8 +97,9 @@ runOn(RuntimeChangeMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    analysis::CheckMode check(argc, argv);
     std::printf("rotating a note-taking app on both systems:\n\n");
     runOn(RuntimeChangeMode::Restart);
     runOn(RuntimeChangeMode::RchDroid);
@@ -105,5 +107,5 @@ main()
                 "label and the id-less\ndraft; RCHDroid migrated them — "
                 "without the app containing a single line of\n"
                 "state-preservation code.\n");
-    return 0;
+    return check.finish();
 }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "app/binder_interfaces.h"
+#include "os/analysis_hooks.h"
 #include "platform/time.h"
 #include "resources/configuration.h"
 
@@ -42,24 +43,50 @@ class ActivityRecord
     {
     }
 
+    ~ActivityRecord()
+    {
+        if (auto *hooks = analysis::hooks())
+            hooks->onObjectGone(this);
+    }
+
     ActivityToken token() const { return token_; }
     const std::string &component() const { return component_; }
     const std::string &process() const { return process_; }
 
     const Configuration &configuration() const { return config_; }
-    void setConfiguration(Configuration config)
-    { config_ = std::move(config); }
+    void
+    setConfiguration(Configuration config)
+    {
+        noteAccess(/*is_write=*/true);
+        config_ = std::move(config);
+    }
 
-    RecordState state() const { return state_; }
-    void setState(RecordState state) { state_ = state; }
+    RecordState
+    state() const
+    {
+        noteAccess(/*is_write=*/false);
+        return state_;
+    }
+    void
+    setState(RecordState state)
+    {
+        noteAccess(/*is_write=*/true);
+        state_ = state;
+    }
 
     /** @name RCHDroid shadow field (Table 2)
      * @{
      */
-    bool isShadow() const { return shadow_; }
+    bool
+    isShadow() const
+    {
+        noteAccess(/*is_write=*/false);
+        return shadow_;
+    }
     void
     setShadow(bool shadow, SimTime now)
     {
+        noteAccess(/*is_write=*/true);
         shadow_ = shadow;
         if (shadow)
             shadow_since_ = now;
@@ -75,6 +102,15 @@ class ActivityRecord
     SimTime createdAt() const { return created_at_; }
 
   private:
+    /** Report a record access to the race-detection hooks. */
+    void
+    noteAccess(bool is_write) const
+    {
+        if (auto *hooks = analysis::hooks())
+            hooks->onSharedAccess(this, "ActivityRecord", component_,
+                                  is_write);
+    }
+
     ActivityToken token_;
     std::string component_;
     std::string process_;

@@ -1,0 +1,110 @@
+#include "analysis/lifecycle_checker.h"
+
+#include <sstream>
+
+namespace rchdroid::analysis {
+
+std::string
+LifecycleChecker::describeInstance(const Tracked &tracked) const
+{
+    std::ostringstream os;
+    os << tracked.component << "#" << tracked.instance_id;
+    return os.str();
+}
+
+void
+LifecycleChecker::onTransition(const void *activity, const void *scope,
+                               const std::string &component,
+                               std::uint64_t instance_id,
+                               LifecycleState from, LifecycleState to)
+{
+    ++transitions_checked_;
+
+    auto it = activities_.find(activity);
+    if (it != activities_.end() && it->second.state != from) {
+        Violation violation;
+        violation.kind = ViolationKind::LifecycleTransition;
+        violation.time = context_.now();
+        std::ostringstream os;
+        os << describeInstance(it->second) << ": transition claims state "
+           << lifecycleStateName(from) << " but last observed state was "
+           << lifecycleStateName(it->second.state);
+        violation.summary = os.str();
+        violation.details.push_back("in " + context_.describeCurrent());
+        sink_.report(std::move(violation));
+    }
+
+    Tracked &tracked = activities_[activity];
+    tracked.scope = scope;
+    tracked.component = component;
+    tracked.instance_id = instance_id;
+
+    if (!isValidTransition(from, to)) {
+        Violation violation;
+        violation.kind = ViolationKind::LifecycleTransition;
+        violation.time = context_.now();
+        std::ostringstream os;
+        os << describeInstance(tracked) << ": illegal transition "
+           << lifecycleStateName(from) << " -> " << lifecycleStateName(to)
+           << " (no such edge in Fig. 4)";
+        violation.summary = os.str();
+        violation.details.push_back("in " + context_.describeCurrent());
+        sink_.report(std::move(violation));
+    }
+    tracked.state = to;
+
+    // Invariant: at most one foreground (and so at most one Sunny)
+    // instance per process scope. Bare instances built directly by unit
+    // tests have no scope and are exempt.
+    if (isForeground(to) && scope) {
+        for (const auto &[other, other_tracked] : activities_) {
+            if (other == activity || other_tracked.scope != scope ||
+                !isForeground(other_tracked.state)) {
+                continue;
+            }
+            Violation violation;
+            violation.kind = ViolationKind::LifecycleInvariant;
+            violation.time = context_.now();
+            std::ostringstream os;
+            os << "two foreground instances in one process: "
+               << describeInstance(tracked) << " became "
+               << lifecycleStateName(to) << " while "
+               << describeInstance(other_tracked) << " is "
+               << lifecycleStateName(other_tracked.state);
+            violation.summary = os.str();
+            violation.details.push_back("in " + context_.describeCurrent());
+            sink_.report(std::move(violation));
+        }
+    }
+}
+
+void
+LifecycleChecker::onActivityGone(const void *activity)
+{
+    activities_.erase(activity);
+}
+
+void
+LifecycleChecker::onDestroyedViewMutation(const void *view, const char *kind,
+                                          const std::string &label)
+{
+    (void)view;
+    if (context_.inAppCode()) {
+        // A stale app callback touching a destroyed tree: the crash
+        // scenario the paper studies, absorbed by the crash guard.
+        ++app_destroyed_view_touches_;
+        return;
+    }
+    Violation violation;
+    violation.kind = ViolationKind::DestroyedViewMutation;
+    violation.time = context_.now();
+    std::ostringstream os;
+    os << "framework mutated destroyed " << kind;
+    if (!label.empty())
+        os << " '" << label << "'";
+    violation.summary = os.str();
+    violation.details.push_back("in " + context_.describeCurrent());
+    sink_.report(std::move(violation));
+}
+
+} // namespace rchdroid::analysis

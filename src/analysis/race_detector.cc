@@ -1,0 +1,212 @@
+#include "analysis/race_detector.h"
+
+#include <sstream>
+
+#include "platform/logging.h"
+
+namespace rchdroid::analysis {
+
+int
+RaceDetector::threadIndex(const Looper &looper)
+{
+    auto it = thread_index_.find(&looper);
+    if (it != thread_index_.end())
+        return it->second;
+    const int index = static_cast<int>(thread_names_.size());
+    thread_index_.emplace(&looper, index);
+    thread_names_.push_back(looper.name());
+    clocks_.emplace_back();
+    // Start each thread at epoch 1 so a recorded epoch of 0 can never be
+    // confused with "thread never ran".
+    clocks_.back().set(index, 1);
+    return index;
+}
+
+void
+RaceDetector::onLooperCreated(const Looper &looper)
+{
+    threadIndex(looper);
+}
+
+void
+RaceDetector::onLooperDestroyed(const Looper &looper)
+{
+    // The index (and its clock) stays allocated: recorded epochs keep
+    // referring to it. Only the pointer mapping is dropped, so a new
+    // looper reusing the address gets a fresh identity.
+    thread_index_.erase(&looper);
+    pending_sends_.erase(&looper);
+}
+
+void
+RaceDetector::onMessageSend(const Looper &target, std::uint64_t msg_id)
+{
+    Looper *sender = Looper::current();
+    if (!sender)
+        return; // Harness enqueue: no happens-before edge.
+    const int s = threadIndex(*sender);
+    pending_sends_[&target].emplace(msg_id, clocks_[s]);
+    // Release: later sender work is not ordered before this message.
+    clocks_[s].tick(s);
+}
+
+void
+RaceDetector::onDispatchBegin(const Looper &looper, std::uint64_t msg_id)
+{
+    const int r = threadIndex(looper);
+    auto by_target = pending_sends_.find(&looper);
+    if (by_target != pending_sends_.end()) {
+        auto snapshot = by_target->second.find(msg_id);
+        if (snapshot != by_target->second.end()) {
+            clocks_[r].join(snapshot->second);
+            by_target->second.erase(snapshot);
+        }
+    }
+    // Each dispatch is a new epoch on its looper.
+    clocks_[r].tick(r);
+}
+
+void
+RaceDetector::onSyncBarrier(const void *scope, const char *label)
+{
+    (void)label;
+    Looper *current = Looper::current();
+    if (!current)
+        return;
+    const int t = threadIndex(*current);
+    VectorClock &barrier = barriers_[scope];
+    // Acquire everything released at earlier barriers on this scope,
+    // then release our own history into it.
+    clocks_[t].join(barrier);
+    barrier.join(clocks_[t]);
+    clocks_[t].tick(t);
+}
+
+RaceDetector::Epoch
+RaceDetector::currentEpoch(int thread) const
+{
+    Epoch epoch;
+    epoch.thread = thread;
+    epoch.clock = clocks_[static_cast<std::size_t>(thread)].get(thread);
+    if (const DispatchFrame *frame = context_.currentFrame()) {
+        epoch.info.tag = frame->tag;
+        epoch.info.msg_id = frame->msg_id;
+    }
+    epoch.info.time = context_.now();
+    return epoch;
+}
+
+void
+RaceDetector::onSharedAccess(const void *object, const char *kind,
+                             const std::string &label, bool is_write)
+{
+    Looper *current = Looper::current();
+    if (!current) {
+        ++accesses_ignored_;
+        return;
+    }
+    ++accesses_checked_;
+    const int t = threadIndex(*current);
+    const VectorClock &now = clocks_[static_cast<std::size_t>(t)];
+
+    ObjectState &state = objects_[object];
+    if (state.label.empty()) {
+        state.kind = kind;
+        state.label = label;
+    }
+    const Epoch here = currentEpoch(t);
+
+    if (is_write) {
+        if (state.write.thread >= 0 && !ordered(state.write, now))
+            reportRace(state, state.write, /*prior_is_write=*/true, here,
+                       /*current_is_write=*/true);
+        for (const Epoch &read : state.reads) {
+            if (!ordered(read, now))
+                reportRace(state, read, /*prior_is_write=*/false, here,
+                           /*current_is_write=*/true);
+        }
+        state.write = here;
+        // Every prior read is now ordered before (or raced with) this
+        // write; the write epoch subsumes them.
+        state.reads.clear();
+        return;
+    }
+
+    if (state.write.thread >= 0 && !ordered(state.write, now))
+        reportRace(state, state.write, /*prior_is_write=*/true, here,
+                   /*current_is_write=*/false);
+    for (Epoch &read : state.reads) {
+        if (read.thread == t) {
+            read = here;
+            return;
+        }
+    }
+    state.reads.push_back(here);
+}
+
+void
+RaceDetector::onObjectGone(const void *object)
+{
+    objects_.erase(object);
+}
+
+const VectorClock &
+RaceDetector::clockOf(const Looper &looper)
+{
+    return clocks_[static_cast<std::size_t>(threadIndex(looper))];
+}
+
+std::string
+RaceDetector::describeEpoch(const Epoch &epoch, bool is_write) const
+{
+    std::ostringstream os;
+    os << (is_write ? "write" : "read") << " by ";
+    const auto index = static_cast<std::size_t>(epoch.thread);
+    os << (index < thread_names_.size() ? thread_names_[index]
+                                        : "<unknown thread>");
+    if (epoch.info.msg_id != 0) {
+        os << " in dispatch #" << epoch.info.msg_id;
+        if (!epoch.info.tag.empty())
+            os << " '" << epoch.info.tag << "'";
+    }
+    os << " at " << formatSimTime(epoch.info.time) << " (epoch "
+       << epoch.thread << ":" << epoch.clock << ")";
+    return os.str();
+}
+
+void
+RaceDetector::reportRace(ObjectState &state, const Epoch &prior,
+                         bool prior_is_write, const Epoch &current,
+                         bool current_is_write)
+{
+    ++races_found_;
+    if (state.reported)
+        return;
+    state.reported = true;
+
+    Violation violation;
+    violation.kind = ViolationKind::DataRace;
+    violation.time = current.info.time;
+    {
+        std::ostringstream os;
+        os << "data race on " << state.kind;
+        if (!state.label.empty())
+            os << " '" << state.label << "'";
+        os << ": unordered " << (prior_is_write ? "write" : "read") << "/"
+           << (current_is_write ? "write" : "read") << " from "
+           << thread_names_[static_cast<std::size_t>(prior.thread)]
+           << " and "
+           << thread_names_[static_cast<std::size_t>(current.thread)];
+        violation.summary = os.str();
+    }
+    violation.details.push_back("prior:   " +
+                                describeEpoch(prior, prior_is_write));
+    violation.details.push_back("current: " +
+                                describeEpoch(current, current_is_write));
+    violation.details.push_back(
+        "no happens-before path (message send, barrier, or program "
+        "order) connects the two accesses");
+    sink_.report(std::move(violation));
+}
+
+} // namespace rchdroid::analysis

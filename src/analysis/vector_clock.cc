@@ -1,0 +1,65 @@
+#include "analysis/vector_clock.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "platform/logging.h"
+
+namespace rchdroid::analysis {
+
+std::uint64_t
+VectorClock::get(int thread) const
+{
+    const auto index = static_cast<std::size_t>(thread);
+    return index < clocks_.size() ? clocks_[index] : 0;
+}
+
+void
+VectorClock::set(int thread, std::uint64_t value)
+{
+    RCH_ASSERT(thread >= 0, "negative thread index ", thread);
+    const auto index = static_cast<std::size_t>(thread);
+    if (index >= clocks_.size())
+        clocks_.resize(index + 1, 0);
+    clocks_[index] = value;
+}
+
+void
+VectorClock::tick(int thread)
+{
+    set(thread, get(thread) + 1);
+}
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    if (other.clocks_.size() > clocks_.size())
+        clocks_.resize(other.clocks_.size(), 0);
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+        clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+}
+
+bool
+VectorClock::leq(const VectorClock &other) const
+{
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+        const std::uint64_t theirs =
+            i < other.clocks_.size() ? other.clocks_[i] : 0;
+        if (clocks_[i] > theirs)
+            return false;
+    }
+    return true;
+}
+
+std::string
+VectorClock::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < clocks_.size(); ++i)
+        os << (i ? " " : "") << clocks_[i];
+    os << "]";
+    return os.str();
+}
+
+} // namespace rchdroid::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * VectorClock: the logical-time backbone of the deterministic race
+ * detector.
+ *
+ * Each simulated thread (Looper) gets a dense index; a clock maps index
+ * → count of that thread's dispatch segments observed so far. Message
+ * sends carry the sender's clock to the receiving dispatch, which joins
+ * it — giving exactly the happens-before relation of the looper model:
+ * program order within a looper plus message-send edges between them.
+ * Virtual time deliberately does NOT order events: two dispatches that
+ * merely happen to be scheduled apart are concurrent, which is what lets
+ * a fully deterministic simulation still expose logical races.
+ */
+#ifndef RCHDROID_ANALYSIS_VECTOR_CLOCK_H
+#define RCHDROID_ANALYSIS_VECTOR_CLOCK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rchdroid::analysis {
+
+/**
+ * A grow-on-demand vector clock over dense thread indices.
+ */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+
+    /** Component for `thread` (0 when never set). */
+    std::uint64_t get(int thread) const;
+
+    /** Set component `thread` to `value`. */
+    void set(int thread, std::uint64_t value);
+
+    /** Increment component `thread` by one. */
+    void tick(int thread);
+
+    /** Pointwise maximum with `other` (the join of the lattice). */
+    void join(const VectorClock &other);
+
+    /** True when every component of this clock is <= `other`'s. */
+    bool leq(const VectorClock &other) const;
+
+    /** Number of components stored (threads ever touched). */
+    std::size_t size() const { return clocks_.size(); }
+
+    /** "[2 0 7]" — diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> clocks_;
+};
+
+} // namespace rchdroid::analysis
+
+#endif // RCHDROID_ANALYSIS_VECTOR_CLOCK_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "os/analysis_hooks.h"
 #include "platform/logging.h"
 
 namespace rchdroid {
@@ -12,6 +13,12 @@ std::uint64_t Activity::next_instance_id_ = 1;
 Activity::Activity(std::string component)
     : component_(std::move(component)), instance_id_(next_instance_id_++)
 {
+}
+
+Activity::~Activity()
+{
+    if (auto *hooks = analysis::hooks())
+        hooks->onActivityGone(this);
 }
 
 void
@@ -47,6 +54,15 @@ Activity::emitEvent(const std::string &kind, double value)
 void
 Activity::transitionTo(LifecycleState next)
 {
+    // Reported before validity is enforced so the protocol checker can
+    // record an illegal attempt even when the assert below is the thing
+    // that stops it.
+    if (auto *hooks = analysis::hooks()) {
+        hooks->onLifecycleTransition(this, context_.thread, component_,
+                                     instance_id_,
+                                     static_cast<std::uint8_t>(state_),
+                                     static_cast<std::uint8_t>(next));
+    }
     RCH_ASSERT(isValidTransition(state_, next), component_, " instance ",
                instance_id_, ": illegal lifecycle transition ",
                lifecycleStateName(state_), " -> ", lifecycleStateName(next));
@@ -132,13 +148,14 @@ void
 Activity::performDestroy()
 {
     const int n = window_.countViews();
-    if (state_ == LifecycleState::Shadow || state_ == LifecycleState::Sunny ||
-        state_ == LifecycleState::Resumed || state_ == LifecycleState::Paused) {
-        // Fast-path teardown used by relaunch and shadow GC: Android
-        // funnels these through pause/stop internally; costs are charged
-        // as one destroy here.
-        state_ = LifecycleState::Stopped;
-    }
+    // Fast-path teardown used by relaunch and shadow GC: Android funnels
+    // these through pause/stop internally. The intermediate hops follow
+    // the Fig. 4 edges (Shadow goes straight to Destroyed, its only exit
+    // besides the coin flip); costs are charged as one destroy below.
+    if (state_ == LifecycleState::Resumed || state_ == LifecycleState::Sunny)
+        transitionTo(LifecycleState::Paused);
+    if (state_ == LifecycleState::Paused)
+        transitionTo(LifecycleState::Stopped);
     transitionTo(LifecycleState::Destroyed);
     chargeCpu(context_.costs.on_destroy_base +
               context_.costs.destroy_per_view * n);

@@ -79,7 +79,7 @@ class Activity : public ViewTreeHost
      * @param component Component name, e.g. "com.example/.Main".
      */
     explicit Activity(std::string component);
-    ~Activity() override = default;
+    ~Activity() override;
 
     /** @name Identity
      * @{

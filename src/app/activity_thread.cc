@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "os/analysis_hooks.h"
 #include "platform/logging.h"
 
 namespace rchdroid {
@@ -300,11 +301,19 @@ ActivityThread::runAppCode(const std::function<void()> &fn)
 {
     if (crashed())
         return;
+    // The app-code scope tells the analysis layer that destroyed-view
+    // touches in here are the simulated app bug under study (absorbed by
+    // this crash guard), not the framework breaking its own protocol.
+    auto *hooks = analysis::hooks();
+    if (hooks)
+        hooks->onAppCodeBegin();
     try {
         fn();
     } catch (const UiException &e) {
         handleCrash(e);
     }
+    if (hooks)
+        hooks->onAppCodeEnd();
 }
 
 void

@@ -37,8 +37,10 @@ void
 SimulatedApp::onStop()
 {
     if (spec_.async.cancels_on_stop) {
-        for (auto &task : tasks_)
-            task->cancel();
+        for (auto &weak_task : tasks_) {
+            if (auto task = weak_task.lock())
+                task->cancel();
+        }
     }
 }
 

@@ -67,7 +67,10 @@ class SimulatedApp final : public Activity
     ResourceId main_layout_;
     int custom_value_ = 0;
     int tasks_started_ = 0;
-    std::vector<std::shared_ptr<AsyncTask>> tasks_;
+    // Weak: a running task is kept alive by the thread's in-flight
+    // list (and pins this activity through its owner reference); a
+    // strong edge here would close an unreclaimable ownership cycle.
+    std::vector<std::weak_ptr<AsyncTask>> tasks_;
     std::vector<std::unique_ptr<Dialog>> dialogs_;
 };
 

@@ -1,0 +1,15 @@
+#include "os/analysis_hooks.h"
+
+namespace rchdroid::analysis {
+
+namespace detail {
+Hooks *g_hooks = nullptr;
+} // namespace detail
+
+void
+setHooks(Hooks *hooks)
+{
+    detail::g_hooks = hooks;
+}
+
+} // namespace rchdroid::analysis

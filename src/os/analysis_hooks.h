@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The instrumentation seam between the simulated framework and the
+ * analysis subsystem (src/analysis/).
+ *
+ * Lower layers (os/, view/, app/, ams/, rch/) report notable events —
+ * looper message sends and dispatches, shared-state accesses, lifecycle
+ * transitions, synchronisation barriers — through the Hooks interface
+ * installed here. When no hooks are installed every call site reduces to
+ * one pointer load and a branch, so release-mode simulation pays
+ * essentially nothing.
+ *
+ * The seam deliberately lives in os/ (the lowest instrumented layer) and
+ * speaks in opaque identities (`const void *`) plus raw enum values, so
+ * that os/ never depends on the higher layers whose objects it reports
+ * about. The analysis library casts identities back to the types it
+ * knows (it links against all instrumented layers).
+ */
+#ifndef RCHDROID_OS_ANALYSIS_HOOKS_H
+#define RCHDROID_OS_ANALYSIS_HOOKS_H
+
+#include <cstdint>
+#include <string>
+
+namespace rchdroid {
+
+class Looper;
+
+namespace analysis {
+
+/**
+ * Receiver of framework instrumentation events. All methods default to
+ * no-ops so implementations override only what they consume.
+ *
+ * Identity conventions:
+ *  - loopers are passed as Looper& (os-level type, always available);
+ *  - shared objects (views, records, trees) as `const void *` plus a
+ *    human-readable kind/label;
+ *  - lifecycle states as their raw std::uint8_t enum values (os/ cannot
+ *    see app/lifecycle.h; the analysis layer casts back).
+ */
+class Hooks
+{
+  public:
+    virtual ~Hooks() = default;
+
+    /** @name Looper (simulated thread) events
+     * @{
+     */
+    virtual void onLooperCreated(Looper &looper) { (void)looper; }
+    virtual void onLooperDestroyed(Looper &looper) { (void)looper; }
+    /**
+     * A message was enqueued to `target`. The sending thread, if any, is
+     * Looper::current() at call time; enqueues from outside any dispatch
+     * (harness code, raw scheduler events) have no sender and create no
+     * happens-before edge.
+     */
+    virtual void onMessageSend(Looper &target, std::uint64_t msg_id)
+    { (void)target; (void)msg_id; }
+    /** `looper` began dispatching the message `msg_id`. */
+    virtual void onDispatchBegin(Looper &looper, std::uint64_t msg_id,
+                                 const std::string &tag)
+    { (void)looper; (void)msg_id; (void)tag; }
+    /** The in-flight dispatch on `looper` completed. */
+    virtual void onDispatchEnd(Looper &looper) { (void)looper; }
+    /** @} */
+
+    /**
+     * A framework-level synchronisation barrier on `scope` (e.g. the
+     * shadow GC collecting an instance, or a coin flip handing the
+     * foreground over): orders everything the current thread did before
+     * the barrier with everything any thread does after its next
+     * barrier on the same scope.
+     */
+    virtual void onSyncBarrier(const void *scope, const char *label)
+    { (void)scope; (void)label; }
+
+    /**
+     * A read or write of shared framework state (a view property, the
+     * view-tree map, an activity record). Ignored when no simulated
+     * thread is executing (Looper::current() == nullptr), since such
+     * accesses come from the test harness, which is outside the
+     * concurrency model.
+     */
+    virtual void onSharedAccess(const void *object, const char *kind,
+                                const std::string &label, bool is_write)
+    { (void)object; (void)kind; (void)label; (void)is_write; }
+
+    /** `object` was destructed; any tracked access history is stale. */
+    virtual void onObjectGone(const void *object) { (void)object; }
+
+    /** @name Activity lifecycle events
+     * @{
+     */
+    /**
+     * An activity is about to transition `from` → `to` (raw
+     * LifecycleState values). Reported before validity is enforced so a
+     * checker observes illegal attempts too. `scope` groups activities
+     * of one process (the hosting ActivityThread), null for bare test
+     * instances.
+     */
+    virtual void onLifecycleTransition(const void *activity,
+                                       const void *scope,
+                                       const std::string &component,
+                                       std::uint64_t instance_id,
+                                       std::uint8_t from, std::uint8_t to)
+    {
+        (void)activity; (void)scope; (void)component;
+        (void)instance_id; (void)from; (void)to;
+    }
+    /** An activity instance was destructed. */
+    virtual void onActivityGone(const void *activity) { (void)activity; }
+    /** @} */
+
+    /**
+     * A mutation was attempted on a view whose tree is already
+     * destroyed. Whether this is a simulated app bug (the crash
+     * scenario under study, absorbed by the crash guard) or the
+     * framework violating its own protocol is decided by the receiver
+     * from the app-code scope events below.
+     */
+    virtual void onDestroyedViewMutation(const void *view, const char *kind,
+                                         const std::string &label)
+    { (void)view; (void)kind; (void)label; }
+
+    /** @name App-code scope (ActivityThread crash guard)
+     * @{
+     */
+    virtual void onAppCodeBegin() {}
+    virtual void onAppCodeEnd() {}
+    /** @} */
+};
+
+namespace detail {
+/** The installed hooks, or null. Use hooks()/setHooks(), not this. */
+extern Hooks *g_hooks;
+} // namespace detail
+
+/** The installed hooks instance, or null when analysis is off. */
+inline Hooks *
+hooks()
+{
+    return detail::g_hooks;
+}
+
+/**
+ * Install (or, with null, remove) the process-wide hooks. The simulation
+ * is single-threaded; callers are expected to scope installation RAII-
+ * style (see analysis::ScopedAnalyzer).
+ */
+void setHooks(Hooks *hooks);
+
+} // namespace analysis
+} // namespace rchdroid
+
+#endif // RCHDROID_OS_ANALYSIS_HOOKS_H

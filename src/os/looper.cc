@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "os/analysis_hooks.h"
 #include "platform/logging.h"
 
 namespace rchdroid {
@@ -12,18 +13,25 @@ Looper *Looper::current_ = nullptr;
 Looper::Looper(SimScheduler &scheduler, std::string name)
     : scheduler_(scheduler), name_(std::move(name))
 {
+    if (auto *hooks = analysis::hooks())
+        hooks->onLooperCreated(*this);
 }
 
 Looper::~Looper()
 {
     if (wakeup_event_ != kInvalidEventId)
         scheduler_.cancel(wakeup_event_);
+    if (auto *hooks = analysis::hooks())
+        hooks->onLooperDestroyed(*this);
 }
 
 void
 Looper::enqueue(Message msg)
 {
     msg.when = std::max(msg.when, scheduler_.now());
+    msg.analysis_id = ++next_msg_id_;
+    if (auto *hooks = analysis::hooks())
+        hooks->onMessageSend(*this, msg.analysis_id);
     queue_.enqueue(std::move(msg));
     armWakeup();
 }
@@ -106,9 +114,13 @@ Looper::onWakeup()
     current_tag_ = msg->tag;
     Looper *previous_current = current_;
     current_ = this;
+    if (auto *hooks = analysis::hooks())
+        hooks->onDispatchBegin(*this, msg->analysis_id, current_tag_);
 
     msg->callback();
 
+    if (auto *hooks = analysis::hooks())
+        hooks->onDispatchEnd(*this);
     current_ = previous_current;
     busy_until_ = current_start_ + current_cost_;
     total_busy_ += current_cost_;

@@ -106,6 +106,9 @@ class Looper
     /** Queue depth (diagnostics). */
     std::size_t queuedMessages() const { return queue_.size(); }
 
+    /** Tag of the message currently dispatching ("" outside dispatch). */
+    const std::string &currentTag() const { return current_tag_; }
+
     /** Total messages dispatched (diagnostics). */
     std::uint64_t dispatchedMessages() const { return dispatched_; }
 
@@ -132,6 +135,8 @@ class Looper
     std::string current_tag_;
     std::uint64_t dispatched_ = 0;
     SimDuration total_busy_ = 0;
+    /** Source of per-message analysis ids (see Message::analysis_id). */
+    std::uint64_t next_msg_id_ = 0;
 
     /** The looper currently dispatching (single-owner simulation). */
     static Looper *current_;

@@ -41,6 +41,11 @@ struct Message
     const void *token = nullptr;
     /** Human-readable label surfaced in traces. */
     std::string tag;
+    /**
+     * Looper-assigned id correlating this message's enqueue with its
+     * dispatch in the analysis hooks; 0 before the looper accepts it.
+     */
+    std::uint64_t analysis_id = 0;
 };
 
 /**

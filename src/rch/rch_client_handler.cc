@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "os/analysis_hooks.h"
 #include "platform/logging.h"
 
 namespace rchdroid {
@@ -29,9 +30,11 @@ RchClientHandler::armGcTimer(ActivityThread &thread)
     if (gc_timer_armed_)
         return;
     gc_timer_armed_ = true;
-    auto tick = std::make_shared<std::function<void()>>();
+    // The handler owns the tick closure; posted copies capture only raw
+    // pointers back to it (a self-capturing shared_ptr closure would
+    // never be reclaimed).
     ActivityThread *thread_ptr = &thread;
-    *tick = [this, thread_ptr, tick] {
+    gc_tick_ = [this, thread_ptr] {
         if (thread_ptr->crashed() || !thread_ptr->shadowActivity()) {
             gc_timer_armed_ = false;
             return;
@@ -41,10 +44,10 @@ RchClientHandler::armGcTimer(ActivityThread &thread)
             gc_timer_armed_ = false;
             return;
         }
-        thread_ptr->uiLooper().post(*tick, config_.gc_interval,
+        thread_ptr->uiLooper().post(gc_tick_, config_.gc_interval,
                                     thread_ptr->costs().gc_check, "gcTick");
     };
-    thread.uiLooper().post(*tick, config_.gc_interval,
+    thread.uiLooper().post(gc_tick_, config_.gc_interval,
                            thread.costs().gc_check, "gcTick");
 }
 
@@ -135,6 +138,11 @@ RchClientHandler::performFlip(ActivityThread &thread, const LaunchArgs &args)
                "flip target is not a shadow instance");
     RCH_ASSERT(outgoing, "flip source instance missing");
     ++stats_.flips;
+    // The flip is a full synchronisation point between the instances:
+    // everything the displaced foreground did is ordered before anything
+    // the incoming instance does from here on.
+    if (auto *hooks = analysis::hooks())
+        hooks->onSyncBarrier(&thread, "coinFlip");
 
     Looper &ui = thread.uiLooper();
     if (ui.isDispatching())
@@ -212,6 +220,10 @@ RchClientHandler::releaseShadow(ActivityThread &thread,
 {
     const ActivityToken token = shadow->token();
     shadow->setInvalidationListener(nullptr);
+    // GC barrier: the collection orders every migration the shadow
+    // instance performed before any later work observes its absence.
+    if (auto *hooks = analysis::hooks())
+        hooks->onSyncBarrier(&thread, "shadowGc");
     thread.runAppCode([&] { shadow->performDestroy(); });
     thread.dropActivity(token);
     if (auto foreground = thread.foregroundActivity()) {

@@ -14,6 +14,7 @@
 #ifndef RCHDROID_RCH_RCH_CLIENT_HANDLER_H
 #define RCHDROID_RCH_RCH_CLIENT_HANDLER_H
 
+#include <functional>
 #include <memory>
 
 #include "app/activity_thread.h"
@@ -74,6 +75,7 @@ class RchClientHandler final : public ClientRuntimeChangeHandler
     LazyMigrator migrator_;
     ShadowGcPolicy gc_policy_;
     bool gc_timer_armed_ = false;
+    std::function<void()> gc_tick_;
 };
 
 } // namespace rchdroid

@@ -1,5 +1,6 @@
 #include "rch/view_tree_mapper.h"
 
+#include "os/analysis_hooks.h"
 #include "platform/logging.h"
 
 namespace rchdroid {
@@ -7,6 +8,15 @@ namespace rchdroid {
 MappingResult
 ViewTreeMapper::buildMapping(Activity &sunny, Activity &shadow) const
 {
+    // The mapping rewires peer pointers across both whole trees; report
+    // it as a write on each tree so a concurrent traversal elsewhere is
+    // caught as a race.
+    if (auto *hooks = analysis::hooks()) {
+        hooks->onSharedAccess(&sunny.window().decorView(), "ViewTree",
+                              sunny.component(), /*is_write=*/true);
+        hooks->onSharedAccess(&shadow.window().decorView(), "ViewTree",
+                              shadow.component(), /*is_write=*/true);
+    }
     switch (strategy_) {
       case MappingStrategy::HashTable:
         return buildWithHashTable(sunny, shadow);

@@ -80,6 +80,18 @@ AndroidSystem::AndroidSystem(SystemOptions options)
     : options_(std::move(options)),
       energy_(options_.device.power, /*cores=*/6)
 {
+    const bool analysis_on = options_.analysis_enabled.value_or(
+        analysis::analysisEnabledByDefault());
+    if (analysis_on) {
+        analysis::AnalyzerOptions analysis_options = options_.analysis;
+        if (!analysis_options.abort_on_violation)
+            analysis_options.abort_on_violation =
+                analysis::analysisAbortByDefault();
+        analysis_guard_ =
+            std::make_unique<analysis::ScopedAnalyzer>(analysis_options);
+        if (analysis_guard_->installed())
+            analysis_guard_->analyzer().sink().setTelemetry(&trace_);
+    }
     atms_ = std::make_unique<Atms>(scheduler_, options_.device.atms,
                                    options_.device.binder, &trace_);
     atms_->setMode(options_.mode);
@@ -89,6 +101,14 @@ AndroidSystem::AndroidSystem(SystemOptions options)
 }
 
 AndroidSystem::~AndroidSystem() = default;
+
+analysis::Analyzer *
+AndroidSystem::analyzer()
+{
+    return analysis_guard_ && analysis_guard_->installed()
+               ? &analysis_guard_->analyzer()
+               : nullptr;
+}
 
 InstalledApp &
 AndroidSystem::installCustom(const CustomAppParams &params)

@@ -15,9 +15,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "ams/atms.h"
+#include "analysis/analyzer.h"
 #include "app/activity_thread.h"
 #include "apps/app_builder.h"
 #include "apps/corpus.h"
@@ -51,6 +53,14 @@ struct SystemOptions
      * portrait and `wm size reset` returns here.
      */
     Configuration native_config = Configuration::defaultLandscape();
+    /**
+     * Run the analysis subsystem (race detector + lifecycle checker)
+     * for this system's lifetime. Unset → environment/build default
+     * (on in debug builds; RCHDROID_ANALYSIS=1/0 overrides).
+     */
+    std::optional<bool> analysis_enabled;
+    /** Checker configuration used when the subsystem runs. */
+    analysis::AnalyzerOptions analysis;
 };
 
 /**
@@ -112,6 +122,12 @@ class AndroidSystem
     CpuTracker &cpuTracker() { return cpu_; }
     EnergyModel &energy() { return energy_; }
     const SystemOptions &options() const { return options_; }
+    /**
+     * The analyzer this system installed, or null — analysis disabled,
+     * or another analyzer (e.g. a test's own) was installed first and
+     * keeps receiving the events.
+     */
+    analysis::Analyzer *analyzer();
     /** @} */
 
     /** @name App management
@@ -206,6 +222,13 @@ class AndroidSystem
   private:
     class AtmsProxy;
 
+    /**
+     * Declared first so it is destroyed last: hooks must stay installed
+     * while apps_/atms_ tear down (their destructors report object-gone
+     * events). Only the scheduler and options outlive it, and neither
+     * touches the hooks.
+     */
+    std::unique_ptr<analysis::ScopedAnalyzer> analysis_guard_;
     SystemOptions options_;
     SimScheduler scheduler_;
     TraceRecorder trace_;

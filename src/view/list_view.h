@@ -50,7 +50,7 @@ class AbsListView : public View
     /** @name Checked item (Table 1: setItemChecked)
      * @{
      */
-    int checkedItem() const { return checked_item_; }
+    int checkedItem() const { noteSharedRead(); return checked_item_; }
     void setItemChecked(int position);
     void clearItemChecked();
     /** @} */

@@ -28,7 +28,7 @@ class ProgressBar : public View
     MigrationClass migrationClass() const override
     { return MigrationClass::Progress; }
 
-    int progress() const { return progress_; }
+    int progress() const { noteSharedRead(); return progress_; }
     int max() const { return max_; }
 
     /** Clamp to [0, max]; invalidates on change. */

@@ -28,7 +28,7 @@ class TextView : public View
     MigrationClass migrationClass() const override
     { return MigrationClass::Text; }
 
-    const std::string &text() const { return text_; }
+    const std::string &text() const { noteSharedRead(); return text_; }
     /** Set the displayed text; invalidates on change. */
     void setText(std::string text);
 
@@ -122,7 +122,7 @@ class CheckBox : public Button
 
     const char *typeName() const override { return "CheckBox"; }
 
-    bool isChecked() const { return checked_; }
+    bool isChecked() const { noteSharedRead(); return checked_; }
     void setChecked(bool checked);
     void toggle() { setChecked(!checked_); }
 

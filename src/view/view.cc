@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "os/analysis_hooks.h"
 #include "os/looper.h"
 #include "platform/logging.h"
 #include "view/view_group.h"
@@ -25,6 +26,12 @@ migrationClassName(MigrationClass cls)
 
 View::View(std::string id) : id_(std::move(id))
 {
+}
+
+View::~View()
+{
+    if (auto *hooks = analysis::hooks())
+        hooks->onObjectGone(this);
 }
 
 void
@@ -52,6 +59,9 @@ View::markDestroyed()
 void
 View::invalidate()
 {
+    auto *hooks = analysis::hooks();
+    if (destroyed_ && hooks)
+        hooks->onDestroyedViewMutation(this, typeName(), id_);
     requireAlive("invalidate");
     // Android's thread-affinity rule: only the activity (UI) thread may
     // mutate the tree. Mutations outside any dispatch (direct test
@@ -66,10 +76,23 @@ View::invalidate()
                                   running->name());
         }
     }
+    // Report the write only after the affinity check: a wrong-thread
+    // mutation is already rejected (and studied) as a simulated crash,
+    // so the race detector's job is the accesses Android permits but
+    // does not order — above all wrong-thread *reads*.
+    if (hooks)
+        hooks->onSharedAccess(this, typeName(), id_, /*is_write=*/true);
     dirty_ = true;
     ++invalidate_count_;
     if (host_)
         host_->onViewInvalidated(*this);
+}
+
+void
+View::noteSharedRead() const
+{
+    if (auto *hooks = analysis::hooks())
+        hooks->onSharedAccess(this, typeName(), id_, /*is_write=*/false);
 }
 
 void

@@ -91,7 +91,7 @@ class View
   public:
     /** @param id View id (may be empty = no id, like android:id absent). */
     explicit View(std::string id);
-    virtual ~View() = default;
+    virtual ~View();
 
     View(const View &) = delete;
     View &operator=(const View &) = delete;
@@ -215,6 +215,15 @@ class View
   protected:
     /** Throw NullPointer when this view has been released. */
     void requireAlive(const char *operation) const;
+
+    /**
+     * Report a read of this view's migratable state to the analysis
+     * hooks (no-op when analysis is off). Widget getters whose values
+     * feed app logic call this so the race detector sees cross-thread
+     * reads — the silent half of the concurrent-update bugs the paper's
+     * async scenarios produce.
+     */
+    void noteSharedRead() const;
 
     /** Subclass hooks for typed state.
      * @param full Full (RCHDroid) vs default (stock Android) coverage. */

@@ -1,0 +1,79 @@
+#include "analysis/vector_clock.h"
+
+#include <gtest/gtest.h>
+
+using namespace rchdroid::analysis;
+
+TEST(VectorClock, StartsAtZeroEverywhere)
+{
+    VectorClock clock;
+    EXPECT_EQ(clock.get(0), 0u);
+    EXPECT_EQ(clock.get(7), 0u);
+    EXPECT_EQ(clock.size(), 0u);
+}
+
+TEST(VectorClock, SetAndTick)
+{
+    VectorClock clock;
+    clock.set(2, 5);
+    EXPECT_EQ(clock.get(2), 5u);
+    EXPECT_EQ(clock.get(1), 0u);
+    clock.tick(2);
+    EXPECT_EQ(clock.get(2), 6u);
+    clock.tick(0);
+    EXPECT_EQ(clock.get(0), 1u);
+}
+
+TEST(VectorClock, JoinTakesPointwiseMax)
+{
+    VectorClock a;
+    a.set(0, 3);
+    a.set(1, 1);
+    VectorClock b;
+    b.set(1, 4);
+    b.set(2, 2);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 3u);
+    EXPECT_EQ(a.get(1), 4u);
+    EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, LeqIsComponentwise)
+{
+    VectorClock a;
+    a.set(0, 1);
+    a.set(1, 2);
+    VectorClock b;
+    b.set(0, 1);
+    b.set(1, 3);
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+    // Incomparable pair: neither ordering holds.
+    VectorClock c;
+    c.set(0, 2);
+    EXPECT_FALSE(a.leq(c));
+    EXPECT_FALSE(c.leq(a));
+    // Missing components count as zero.
+    VectorClock empty;
+    EXPECT_TRUE(empty.leq(a));
+    EXPECT_FALSE(a.leq(empty));
+}
+
+TEST(VectorClock, JoinGrowsToLargerClock)
+{
+    VectorClock small;
+    small.set(0, 1);
+    VectorClock big;
+    big.set(5, 9);
+    small.join(big);
+    EXPECT_EQ(small.get(5), 9u);
+    EXPECT_GE(small.size(), 6u);
+}
+
+TEST(VectorClock, ToStringListsComponents)
+{
+    VectorClock clock;
+    clock.set(0, 2);
+    clock.set(2, 7);
+    EXPECT_EQ(clock.toString(), "[2 0 7]");
+}

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "app/lifecycle.h"
@@ -18,6 +19,57 @@ const std::vector<S> kAllStates = {
     S::Initial, S::Created, S::Started, S::Resumed, S::Paused,
     S::Stopped, S::Destroyed, S::Shadow, S::Sunny,
 };
+
+/**
+ * The Fig. 4 diagram as data: every solid (stock) and dotted (RCHDroid)
+ * edge, and nothing else. The exhaustive matrix test below asserts
+ * isValidTransition agrees with this set on ALL 81 ordered state pairs,
+ * so adding or dropping an edge in either place fails loudly.
+ */
+const std::vector<std::pair<S, S>> kFig4Edges = {
+    // Stock solid edges.
+    {S::Initial, S::Created},
+    {S::Created, S::Started},
+    {S::Started, S::Resumed},
+    {S::Started, S::Stopped},
+    {S::Resumed, S::Paused},
+    {S::Paused, S::Resumed},
+    {S::Paused, S::Stopped},
+    {S::Stopped, S::Started},
+    {S::Stopped, S::Destroyed},
+    // RCHDroid dotted edges.
+    {S::Resumed, S::Shadow},  // stop with the shadow flag
+    {S::Created, S::Sunny},   // resume with the sunny flag
+    {S::Started, S::Sunny},
+    {S::Shadow, S::Sunny},    // coin flip
+    {S::Sunny, S::Shadow},    // coin flip of the displaced foreground
+    {S::Shadow, S::Destroyed},// shadow GC
+    // Sunny behaves as Resumed for the stock transitions.
+    {S::Sunny, S::Paused},
+    {S::Sunny, S::Resumed},   // degrade when the shadow partner is gone
+};
+
+TEST(Lifecycle, TransitionMatrixMatchesFig4Exactly)
+{
+    for (S from : kAllStates) {
+        for (S to : kAllStates) {
+            bool in_diagram = false;
+            for (const auto &[edge_from, edge_to] : kFig4Edges)
+                in_diagram = in_diagram ||
+                             (edge_from == from && edge_to == to);
+            EXPECT_EQ(isValidTransition(from, to), in_diagram)
+                << lifecycleStateName(from) << " -> "
+                << lifecycleStateName(to);
+        }
+    }
+}
+
+TEST(Lifecycle, Fig4EdgeCountIsStable)
+{
+    // 9 stock edges + 8 RCHDroid edges; a guard against silently
+    // growing the diagram.
+    EXPECT_EQ(kFig4Edges.size(), 17u);
+}
 
 TEST(Lifecycle, StockHappyPath)
 {

@@ -6,8 +6,12 @@
  * time from logcat), but against this repository's simulator.
  *
  * Usage:
- *   rchdroid_shell             # read commands from stdin
- *   rchdroid_shell script.txt  # read commands from a file
+ *   rchdroid_shell [--check]             # read commands from stdin
+ *   rchdroid_shell [--check] script.txt  # read commands from a file
+ *
+ * With --check the analysis subsystem (race detector + lifecycle
+ * protocol checker) observes the whole session and a summary is printed
+ * at exit; any violation makes the exit status non-zero.
  *
  * Commands (one per line, '#' starts a comment):
  *   mode rchdroid|android10      select the framework (before install)
@@ -37,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "sim/android_system.h"
 
 namespace rchdroid::tools {
@@ -255,13 +260,18 @@ runShell(std::istream &in)
 int
 main(int argc, char **argv)
 {
+    rchdroid::analysis::CheckMode check(argc, argv);
+    int status;
     if (argc > 1) {
         std::ifstream file(argv[1]);
         if (!file) {
             std::fprintf(stderr, "cannot open script %s\n", argv[1]);
             return 2;
         }
-        return rchdroid::tools::runShell(file);
+        status = rchdroid::tools::runShell(file);
+    } else {
+        status = rchdroid::tools::runShell(std::cin);
     }
-    return rchdroid::tools::runShell(std::cin);
+    const int check_status = check.finish();
+    return status != 0 ? status : check_status;
 }
