@@ -39,7 +39,7 @@ steadyHandlingMs(const sim::SystemOptions &options, const apps::AppSpec &spec,
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("Ablation", "coin-flipping on/off (steady-state handling)");
     sim::SystemOptions with_flip = optionsFor(RuntimeChangeMode::RchDroid);
@@ -51,11 +51,20 @@ run()
 
     TablePrinter table({"views", "RCHDroid (flip) ms", "RCHDroid (no reuse) ms",
                         "flip saving"});
-    for (int n : {1, 4, 16, 32}) {
-        const auto spec = apps::makeBenchmarkApp(n);
-        const double flip = steadyHandlingMs(with_flip, spec, 5);
-        const double none = steadyHandlingMs(no_reuse, spec, 5);
-        table.addRow({std::to_string(n), formatDouble(flip, 1),
+    const ParallelRunner runner(jobs);
+    const std::vector<int> view_counts = {1, 4, 16, 32};
+    // Cell layout: 2i = coin flip on, 2i+1 = no reuse for view_counts[i].
+    const auto handling = runner.map<double>(
+        view_counts.size() * 2,
+        [&view_counts, &with_flip, &no_reuse](std::size_t i) {
+            return steadyHandlingMs(i % 2 ? no_reuse : with_flip,
+                                    apps::makeBenchmarkApp(view_counts[i / 2]),
+                                    5);
+        });
+    for (std::size_t i = 0; i < view_counts.size(); ++i) {
+        const double flip = handling[2 * i];
+        const double none = handling[2 * i + 1];
+        table.addRow({std::to_string(view_counts[i]), formatDouble(flip, 1),
                       formatDouble(none, 1),
                       formatDouble((1.0 - flip / none) * 100.0, 1) + "%"});
     }
@@ -69,7 +78,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

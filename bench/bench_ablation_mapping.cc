@@ -32,15 +32,24 @@ initHandlingMs(MappingStrategy strategy, int n_views)
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("Ablation", "essence mapping: hash table vs linear scan");
     TablePrinter table({"views", "hash table (ms)", "linear scan (ms)",
                         "slowdown"});
-    for (int n : {8, 32, 128, 512}) {
-        const double hash = initHandlingMs(MappingStrategy::HashTable, n);
-        const double linear = initHandlingMs(MappingStrategy::LinearScan, n);
-        table.addRow({std::to_string(n), formatDouble(hash, 1),
+    const ParallelRunner runner(jobs);
+    const std::vector<int> view_counts = {8, 32, 128, 512};
+    // Cell layout: 2i = hash table, 2i+1 = linear scan for view_counts[i].
+    const auto init_ms = runner.map<double>(
+        view_counts.size() * 2, [&view_counts](std::size_t i) {
+            return initHandlingMs(i % 2 ? MappingStrategy::LinearScan
+                                        : MappingStrategy::HashTable,
+                                  view_counts[i / 2]);
+        });
+    for (std::size_t i = 0; i < view_counts.size(); ++i) {
+        const double hash = init_ms[2 * i];
+        const double linear = init_ms[2 * i + 1];
+        table.addRow({std::to_string(view_counts[i]), formatDouble(hash, 1),
                       formatDouble(linear, 1),
                       formatDouble(hash > 0 ? linear / hash : 0, 2) + "x"});
     }
@@ -54,7 +63,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -3,13 +3,22 @@
  * Shared helpers for the bench binaries: the experiment flows of §5 —
  * launch, apply user state, change configuration, measure — with the
  * paper's five-run replication, plus paper-anchor reporting.
+ *
+ * Measurement decomposes into independent cells — one fresh
+ * sim::AndroidSystem per (mode, spec, run) — so benches can fan the
+ * whole matrix across cores with ParallelRunner while aggregating in a
+ * fixed order. A cell's result depends only on (mode, spec,
+ * steady_changes), never on which thread or in which order it ran, so
+ * any jobs count reproduces the serial output bit for bit.
  */
 #ifndef RCHDROID_BENCH_BENCH_COMMON_H
 #define RCHDROID_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "parallel_runner.h"
 #include "platform/stats.h"
 #include "platform/strings.h"
 #include "sim/android_system.h"
@@ -53,40 +62,102 @@ struct HandlingMeasurement
     RunningStat handling_ms;
     RunningStat init_ms;
     bool crashed = false;
+
+    /** Fold another measurement (e.g. one run's) into this one. */
+    void
+    merge(const HandlingMeasurement &other)
+    {
+        handling_ms.merge(other.handling_ms);
+        init_ms.merge(other.init_ms);
+        crashed = crashed || other.crashed;
+    }
 };
+
+/**
+ * One replication: a single fresh-system launch + first change +
+ * `steady_changes` steady-state changes. The independent unit of work
+ * the parallel matrix fans out.
+ */
+inline HandlingMeasurement
+measureHandlingRun(RuntimeChangeMode mode, const apps::AppSpec &spec,
+                   int steady_changes = 3)
+{
+    HandlingMeasurement out;
+    sim::AndroidSystem system(optionsFor(mode));
+    system.install(spec);
+    system.launch(spec);
+    system.applyUserState(spec);
+
+    // First change: the RCHDroid-init episode.
+    system.rotate();
+    if (!system.waitHandlingComplete()) {
+        out.crashed = true;
+        return out;
+    }
+    out.init_ms.add(system.lastHandlingMs());
+    system.runFor(seconds(1));
+
+    // Subsequent changes: the steady state (coin-flip under RCHDroid,
+    // plain restart under Android-10).
+    for (int change = 0; change < steady_changes; ++change) {
+        system.rotate();
+        if (!system.waitHandlingComplete()) {
+            out.crashed = true;
+            break;
+        }
+        out.handling_ms.add(system.lastHandlingMs());
+        system.runFor(seconds(1));
+    }
+    return out;
+}
 
 inline HandlingMeasurement
 measureHandling(RuntimeChangeMode mode, const apps::AppSpec &spec,
                 int runs = 5, int steady_changes = 3)
 {
     HandlingMeasurement out;
-    for (int run = 0; run < runs; ++run) {
-        sim::AndroidSystem system(optionsFor(mode));
-        system.install(spec);
-        system.launch(spec);
-        system.applyUserState(spec);
+    for (int run = 0; run < runs; ++run)
+        out.merge(measureHandlingRun(mode, spec, steady_changes));
+    return out;
+}
 
-        // First change: the RCHDroid-init episode.
-        system.rotate();
-        if (!system.waitHandlingComplete()) {
-            out.crashed = true;
-            continue;
-        }
-        out.init_ms.add(system.lastHandlingMs());
-        system.runFor(seconds(1));
+/** One (mode, app) cell of an experiment matrix. */
+struct HandlingCell
+{
+    RuntimeChangeMode mode = RuntimeChangeMode::Restart;
+    apps::AppSpec spec;
+    int runs = 5;
+    int steady_changes = 3;
+};
 
-        // Subsequent changes: the steady state (coin-flip under
-        // RCHDroid, plain restart under Android-10).
-        for (int change = 0; change < steady_changes; ++change) {
-            system.rotate();
-            if (!system.waitHandlingComplete()) {
-                out.crashed = true;
-                break;
-            }
-            out.handling_ms.add(system.lastHandlingMs());
-            system.runFor(seconds(1));
-        }
+/**
+ * Measure every cell of a matrix, fanning the individual (cell, run)
+ * replications across the runner's threads. Results are returned in
+ * cell order with each cell's runs merged in run order, so the output
+ * is bit-identical to the jobs=1 serial sweep.
+ */
+inline std::vector<HandlingMeasurement>
+measureHandlingMatrix(const std::vector<HandlingCell> &cells,
+                      const ParallelRunner &runner)
+{
+    struct RunRef
+    {
+        std::size_t cell;
+    };
+    std::vector<RunRef> flat;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        for (int run = 0; run < cells[c].runs; ++run)
+            flat.push_back({c});
     }
+    const auto per_run = runner.map<HandlingMeasurement>(
+        flat.size(), [&](std::size_t i) {
+            const HandlingCell &cell = cells[flat[i].cell];
+            return measureHandlingRun(cell.mode, cell.spec,
+                                      cell.steady_changes);
+        });
+    std::vector<HandlingMeasurement> out(cells.size());
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        out[flat[i].cell].merge(per_run[i]);
     return out;
 }
 

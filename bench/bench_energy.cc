@@ -34,14 +34,24 @@ measurePowerWatts(RuntimeChangeMode mode, const apps::AppSpec &spec)
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("§5.6", "energy consumption, 27 TP-37 apps");
     TablePrinter table({"App", "Android-10 (W)", "RCHDroid (W)"});
     RunningStat a10_all, rch_all;
-    for (const auto &spec : apps::tp37()) {
-        const double a10 = measurePowerWatts(RuntimeChangeMode::Restart, spec);
-        const double rch = measurePowerWatts(RuntimeChangeMode::RchDroid, spec);
+    const ParallelRunner runner(jobs);
+    const auto specs = apps::tp37();
+    // Cell layout: 2i = Android-10, 2i+1 = RCHDroid for specs[i].
+    const auto watts = runner.map<double>(
+        specs.size() * 2, [&specs](std::size_t i) {
+            return measurePowerWatts(i % 2 ? RuntimeChangeMode::RchDroid
+                                           : RuntimeChangeMode::Restart,
+                                     specs[i / 2]);
+        });
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &spec = specs[i];
+        const double a10 = watts[2 * i];
+        const double rch = watts[2 * i + 1];
         a10_all.add(a10);
         rch_all.add(rch);
         table.addRow(
@@ -61,7 +71,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

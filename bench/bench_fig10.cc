@@ -47,21 +47,29 @@ measureMigrationMs(int n_views)
 }
 
 int
-run()
+run(int jobs)
 {
     const std::vector<int> view_counts = {1, 2, 4, 8, 16, 32};
+    const ParallelRunner runner(jobs);
 
     printHeader("Fig 10(a)", "runtime change handling time vs #views");
     TablePrinter a({"views", "Android-10 (ms)", "RCHDroid (ms)",
                     "RCHDroid-init (ms)"});
     SampleSet a10_all, rch_all;
     double init_first = 0.0, init_last = 0.0;
+    std::vector<HandlingCell> cells;
     for (int n : view_counts) {
         const auto spec = apps::makeBenchmarkApp(n);
-        auto stock = measureHandling(RuntimeChangeMode::Restart, spec,
-                                     /*runs=*/3, /*steady_changes=*/2);
-        auto rch = measureHandling(RuntimeChangeMode::RchDroid, spec,
-                                   /*runs=*/3, /*steady_changes=*/2);
+        cells.push_back({RuntimeChangeMode::Restart, spec, /*runs=*/3,
+                         /*steady_changes=*/2});
+        cells.push_back({RuntimeChangeMode::RchDroid, spec, /*runs=*/3,
+                         /*steady_changes=*/2});
+    }
+    const auto results = measureHandlingMatrix(cells, runner);
+    for (std::size_t i = 0; i < view_counts.size(); ++i) {
+        const int n = view_counts[i];
+        const auto &stock = results[2 * i];
+        const auto &rch = results[2 * i + 1];
         a.addRow({std::to_string(n),
                   formatDouble(stock.handling_ms.mean(), 1),
                   formatDouble(rch.handling_ms.mean(), 1),
@@ -88,13 +96,22 @@ run()
     TablePrinter b({"views", "RCHDroid migration (ms)",
                     "Android-10 handling (ms, for comparison)"});
     double mig_first = 0.0, mig_last = 0.0;
+    const auto migrations = runner.map<double>(
+        view_counts.size(), [&view_counts](std::size_t i) {
+            return measureMigrationMs(view_counts[i]);
+        });
+    std::vector<HandlingCell> stock_cells;
     for (int n : view_counts) {
-        const double migration = measureMigrationMs(n);
-        const auto spec = apps::makeBenchmarkApp(n);
-        auto stock = measureHandling(RuntimeChangeMode::Restart, spec,
-                                     /*runs=*/1, /*steady_changes=*/1);
+        stock_cells.push_back({RuntimeChangeMode::Restart,
+                               apps::makeBenchmarkApp(n), /*runs=*/1,
+                               /*steady_changes=*/1});
+    }
+    const auto stock_b = measureHandlingMatrix(stock_cells, runner);
+    for (std::size_t i = 0; i < view_counts.size(); ++i) {
+        const int n = view_counts[i];
+        const double migration = migrations[i];
         b.addRow({std::to_string(n), formatDouble(migration, 1),
-                  formatDouble(stock.handling_ms.mean(), 1)});
+                  formatDouble(stock_b[i].handling_ms.mean(), 1)});
         if (n == view_counts.front())
             mig_first = migration;
         if (n == view_counts.back())
@@ -112,7 +129,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -87,14 +87,21 @@ runPoint(SimDuration thresh_t)
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("Fig 11", "GC trade-off vs THRESH_T (THRESH_F = 4/min)");
     TablePrinter table({"THRESH_T (s)", "handling (ms)", "CPU (%)",
                         "memory (MB)", "GC collections", "flips", "inits"});
+    const ParallelRunner runner(jobs);
+    const std::vector<int> thresholds = {10, 20, 30, 40, 50, 60, 70};
+    const auto points = runner.map<SweepPoint>(
+        thresholds.size(), [&thresholds](std::size_t i) {
+            return runPoint(seconds(thresholds[i]));
+        });
     std::vector<double> handling;
-    for (int t : {10, 20, 30, 40, 50, 60, 70}) {
-        const auto point = runPoint(seconds(t));
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        const int t = thresholds[i];
+        const auto &point = points[i];
         handling.push_back(point.handling_ms);
         table.addRow({std::to_string(t), formatDouble(point.handling_ms, 1),
                       formatDouble(point.cpu_percent, 3),
@@ -118,7 +125,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -19,9 +19,10 @@ namespace rchdroid::bench {
 namespace {
 
 int
-run()
+run(int jobs)
 {
     RuntimeDroidModel model;
+    const ParallelRunner runner(jobs);
 
     printHeader("Fig 12", "handling time normalised to Android-10");
     // Two RuntimeDroid columns: the paper-quoted model (the paper itself
@@ -30,18 +31,27 @@ run()
     TablePrinter fig({"App", "Android-10", "RuntimeDroid (quoted)",
                       "RuntimeDroid (reimpl)", "RCHDroid"});
     SampleSet rtd_norm, rtd_measured_norm, rch_norm;
+    std::vector<apps::AppSpec> specs;
     for (const auto &spec : apps::runtimeDroidEvalApps()) {
-        const auto *data = model.find(spec.name);
-        if (!data)
-            continue;
-        const auto stock =
-            measureHandling(RuntimeChangeMode::Restart, spec, /*runs=*/3);
-        const auto rch =
-            measureHandling(RuntimeChangeMode::RchDroid, spec, /*runs=*/3);
+        if (model.find(spec.name))
+            specs.push_back(spec);
+    }
+    // Cell layout per app: stock, RCHDroid, RuntimeDroid-patched stock.
+    std::vector<HandlingCell> cells;
+    for (const auto &spec : specs) {
+        cells.push_back({RuntimeChangeMode::Restart, spec, /*runs=*/3});
+        cells.push_back({RuntimeChangeMode::RchDroid, spec, /*runs=*/3});
         apps::AppSpec patched = spec;
         patched.runtimedroid_patched = true;
-        const auto rtd =
-            measureHandling(RuntimeChangeMode::Restart, patched, /*runs=*/3);
+        cells.push_back({RuntimeChangeMode::Restart, patched, /*runs=*/3});
+    }
+    const auto results = measureHandlingMatrix(cells, runner);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &spec = specs[i];
+        const auto *data = model.find(spec.name);
+        const auto &stock = results[3 * i];
+        const auto &rch = results[3 * i + 1];
+        const auto &rtd = results[3 * i + 2];
         const double a10 = stock.handling_ms.mean();
         const double rch_frac =
             a10 > 0 ? rch.handling_ms.mean() / a10 : 0.0;
@@ -94,7 +104,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -33,23 +33,29 @@ measureMemoryMb(RuntimeChangeMode mode, const apps::AppSpec &spec)
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("Fig 14(a)", "handling time, 59 fixable top-100 apps");
     TablePrinter a({"App", "Android-10 (ms)", "RCHDroid (ms)",
                     "RCHDroid-init (ms)", "saving"});
     RunningStat a10_all, rch_all, init_all;
     SampleSet savings, savings_vs_init;
+    const ParallelRunner runner(jobs);
     std::vector<apps::AppSpec> fixable;
     for (const auto &spec : apps::top100()) {
         if (spec.expect_issue_stock && spec.expect_fixed_by_rch)
             fixable.push_back(spec);
     }
+    std::vector<HandlingCell> cells;
     for (const auto &spec : fixable) {
-        const auto stock =
-            measureHandling(RuntimeChangeMode::Restart, spec, /*runs=*/2);
-        const auto rch =
-            measureHandling(RuntimeChangeMode::RchDroid, spec, /*runs=*/2);
+        cells.push_back({RuntimeChangeMode::Restart, spec, /*runs=*/2});
+        cells.push_back({RuntimeChangeMode::RchDroid, spec, /*runs=*/2});
+    }
+    const auto results = measureHandlingMatrix(cells, runner);
+    for (std::size_t i = 0; i < fixable.size(); ++i) {
+        const auto &spec = fixable[i];
+        const auto &stock = results[2 * i];
+        const auto &rch = results[2 * i + 1];
         const double a10 = stock.handling_ms.mean();
         const double rchdroid = rch.handling_ms.mean();
         const double init = rch.init_ms.mean();
@@ -78,9 +84,17 @@ run()
     printHeader("Fig 14(b)", "memory usage, 59 fixable top-100 apps");
     TablePrinter b({"App", "Android-10 (MB)", "RCHDroid (MB)", "overhead"});
     RunningStat a10_mem, rch_mem;
-    for (const auto &spec : fixable) {
-        const double a10 = measureMemoryMb(RuntimeChangeMode::Restart, spec);
-        const double rch = measureMemoryMb(RuntimeChangeMode::RchDroid, spec);
+    // Cell layout: 2i = Android-10, 2i+1 = RCHDroid for fixable[i].
+    const auto memory = runner.map<double>(
+        fixable.size() * 2, [&fixable](std::size_t i) {
+            return measureMemoryMb(i % 2 ? RuntimeChangeMode::RchDroid
+                                         : RuntimeChangeMode::Restart,
+                                   fixable[i / 2]);
+        });
+    for (std::size_t i = 0; i < fixable.size(); ++i) {
+        const auto &spec = fixable[i];
+        const double a10 = memory[2 * i];
+        const double rch = memory[2 * i + 1];
         a10_mem.add(a10);
         rch_mem.add(rch);
         b.addRow({spec.name, formatDouble(a10, 2), formatDouble(rch, 2),
@@ -103,7 +117,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -14,18 +14,25 @@ namespace rchdroid::bench {
 namespace {
 
 int
-run()
+run(int jobs)
 {
     printHeader("Fig 7", "handling time per app, 27 TP-37 apps");
     TablePrinter table({"App", "Android-10 (ms)", "RCHDroid (ms)",
                         "RCHDroid-init (ms)", "saving"});
     SampleSet savings;
     RunningStat a10_total, rch_total;
-    for (const auto &spec : apps::tp37()) {
-        const auto stock =
-            measureHandling(RuntimeChangeMode::Restart, spec, /*runs=*/3);
-        const auto rch =
-            measureHandling(RuntimeChangeMode::RchDroid, spec, /*runs=*/3);
+    const ParallelRunner runner(jobs);
+    const auto specs = apps::tp37();
+    std::vector<HandlingCell> cells;
+    for (const auto &spec : specs) {
+        cells.push_back({RuntimeChangeMode::Restart, spec, /*runs=*/3});
+        cells.push_back({RuntimeChangeMode::RchDroid, spec, /*runs=*/3});
+    }
+    const auto results = measureHandlingMatrix(cells, runner);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &spec = specs[i];
+        const auto &stock = results[2 * i];
+        const auto &rch = results[2 * i + 1];
         const double a10 = stock.handling_ms.mean();
         const double rchdroid = rch.handling_ms.mean();
         const double saving = a10 > 0 ? (1.0 - rchdroid / a10) * 100.0 : 0.0;
@@ -49,7 +56,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -34,15 +34,25 @@ measureMemoryMb(RuntimeChangeMode mode, const apps::AppSpec &spec)
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("Fig 8", "memory usage per app, 27 TP-37 apps");
     TablePrinter table(
         {"App", "Android-10 (MB)", "RCHDroid (MB)", "overhead"});
     RunningStat a10_all, rch_all;
-    for (const auto &spec : apps::tp37()) {
-        const double a10 = measureMemoryMb(RuntimeChangeMode::Restart, spec);
-        const double rch = measureMemoryMb(RuntimeChangeMode::RchDroid, spec);
+    const ParallelRunner runner(jobs);
+    const auto specs = apps::tp37();
+    // Cell layout: 2i = Android-10, 2i+1 = RCHDroid for specs[i].
+    const auto memory = runner.map<double>(
+        specs.size() * 2, [&specs](std::size_t i) {
+            return measureMemoryMb(i % 2 ? RuntimeChangeMode::RchDroid
+                                         : RuntimeChangeMode::Restart,
+                                   specs[i / 2]);
+        });
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &spec = specs[i];
+        const double a10 = memory[2 * i];
+        const double rch = memory[2 * i + 1];
         a10_all.add(a10);
         rch_all.add(rch);
         table.addRow({spec.name, formatDouble(a10, 2), formatDouble(rch, 2),
@@ -62,7 +72,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -65,11 +65,16 @@ runTrace(RuntimeChangeMode mode)
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("Fig 9", "CPU and memory over time, 4-ImageView app");
-    auto stock = runTrace(RuntimeChangeMode::Restart);
-    auto rch = runTrace(RuntimeChangeMode::RchDroid);
+    const ParallelRunner runner(jobs);
+    auto traces = runner.map<TraceResult>(2, [](std::size_t i) {
+        return runTrace(i == 0 ? RuntimeChangeMode::Restart
+                               : RuntimeChangeMode::RchDroid);
+    });
+    auto &stock = traces[0];
+    auto &rch = traces[1];
 
     // Memory samples arrive on a denser clock than the 20 ms CPU
     // windows; pick the sample nearest each window start.
@@ -128,7 +133,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -35,18 +35,26 @@ observe(RuntimeChangeMode mode, const apps::AppSpec &spec)
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("Table 3", "27 TP-37 apps on RCHDroid vs Android-10");
     TablePrinter table({"No.", "App", "Downloads", "Issue (stock)",
                         "Android-10", "RCHDroid", "paper"});
     int fixed = 0, issues_on_stock = 0, matches = 0;
     const auto corpus = apps::tp37();
+    const ParallelRunner runner(jobs);
+    // Cell layout: 2i = Android-10, 2i+1 = RCHDroid for corpus[i].
+    const auto observed = runner.map<apps::StateCheckResult>(
+        corpus.size() * 2, [&corpus](std::size_t i) {
+            return observe(i % 2 ? RuntimeChangeMode::RchDroid
+                                 : RuntimeChangeMode::Restart,
+                           corpus[i / 2]);
+        });
     int index = 0;
     for (const auto &spec : corpus) {
+        const auto &stock = observed[2 * index];
+        const auto &rch = observed[2 * index + 1];
         ++index;
-        const auto stock = observe(RuntimeChangeMode::Restart, spec);
-        const auto rch = observe(RuntimeChangeMode::RchDroid, spec);
         issues_on_stock += !stock.preserved;
         fixed += rch.preserved;
         const bool matches_paper =
@@ -73,7 +81,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -41,23 +41,46 @@ observe(RuntimeChangeMode mode, const apps::AppSpec &spec)
 }
 
 int
-run()
+run(int jobs)
 {
     printHeader("Table 5", "runtime change issues in Google Play top 100");
     TablePrinter table({"No.", "App", "Downloads", "Issue", "Problem",
                         "RCHDroid", "paper"});
     int issues = 0, fixed_of_issues = 0, matches = 0;
+    const auto corpus = apps::top100();
+    const ParallelRunner runner(jobs);
+    // Stage 1: every app on stock Android. Stage 2: RCHDroid only for the
+    // apps that showed an issue — the same work the serial sweep did.
+    const auto stock_results = runner.map<apps::StateCheckResult>(
+        corpus.size(), [&corpus](std::size_t i) {
+            return observe(RuntimeChangeMode::Restart, corpus[i]);
+        });
+    std::vector<std::size_t> issue_indices;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        if (!stock_results[i].preserved)
+            issue_indices.push_back(i);
+    }
+    const auto rch_results = runner.map<apps::StateCheckResult>(
+        issue_indices.size(), [&corpus, &issue_indices](std::size_t i) {
+            return observe(RuntimeChangeMode::RchDroid,
+                           corpus[issue_indices[i]]);
+        });
+    std::vector<const apps::StateCheckResult *> rch_for(corpus.size(),
+                                                        nullptr);
+    for (std::size_t i = 0; i < issue_indices.size(); ++i)
+        rch_for[issue_indices[i]] = &rch_results[i];
+
     int index = 0;
-    for (const auto &spec : apps::top100()) {
+    for (const auto &spec : corpus) {
+        const auto &stock = stock_results[index];
+        const auto *rch = rch_for[index];
         ++index;
-        const auto stock = observe(RuntimeChangeMode::Restart, spec);
         const bool has_issue = !stock.preserved;
         issues += has_issue;
 
         bool rch_fixed = false;
         if (has_issue) {
-            const auto rch = observe(RuntimeChangeMode::RchDroid, spec);
-            rch_fixed = rch.preserved;
+            rch_fixed = rch->preserved;
             fixed_of_issues += rch_fixed;
         }
         const bool matches_paper =
@@ -84,7 +107,8 @@ run()
 } // namespace rchdroid::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rchdroid::bench::run();
+    const int jobs = rchdroid::bench::parseJobsFlag(argc, argv);
+    return rchdroid::bench::run(jobs);
 }

@@ -97,9 +97,11 @@ class Analyzer final : public Hooks
 };
 
 /**
- * RAII installer. Owns an Analyzer and installs it as the process-wide
- * hooks — unless hooks are already installed, in which case this guard
- * is inert (installed() == false) and the earlier installation wins.
+ * RAII installer. Owns an Analyzer and installs it as this thread's
+ * hooks — unless hooks are already installed on the thread, in which
+ * case this guard is inert (installed() == false) and the earlier
+ * installation wins. The seam is thread-local, so systems running on
+ * parallel experiment workers each get their own analyzer.
  */
 class ScopedAnalyzer
 {

@@ -8,10 +8,11 @@
 
 namespace rchdroid {
 
-std::uint64_t Activity::next_instance_id_ = 1;
+std::atomic<std::uint64_t> Activity::next_instance_id_{1};
 
 Activity::Activity(std::string component)
-    : component_(std::move(component)), instance_id_(next_instance_id_++)
+    : component_(std::move(component)),
+      instance_id_(next_instance_id_.fetch_add(1, std::memory_order_relaxed))
 {
 }
 

@@ -12,6 +12,7 @@
 #ifndef RCHDROID_APP_ACTIVITY_H
 #define RCHDROID_APP_ACTIVITY_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -261,7 +262,12 @@ class Activity : public ViewTreeHost
   private:
     void transitionTo(LifecycleState next);
 
-    static std::uint64_t next_instance_id_;
+    /**
+     * Atomic because activities are constructed concurrently on parallel
+     * experiment worker threads. The id only labels diagnostics (lifecycle
+     * checker, panics), so cross-thread assignment order does not matter.
+     */
+    static std::atomic<std::uint64_t> next_instance_id_;
 
     std::string component_;
     std::uint64_t instance_id_;

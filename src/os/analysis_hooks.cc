@@ -3,10 +3,10 @@
 namespace rchdroid::analysis {
 
 namespace detail {
-Hooks *g_hooks = nullptr;
+thread_local Hooks *g_hooks = nullptr;
 } // namespace detail
 
-void
+RCHDROID_NO_SANITIZE_NULL void
 setHooks(Hooks *hooks)
 {
     detail::g_hooks = hooks;

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <string>
 
+#include "platform/compiler.h"
+
 namespace rchdroid {
 
 class Looper;
@@ -133,19 +135,21 @@ class Hooks
 
 namespace detail {
 /** The installed hooks, or null. Use hooks()/setHooks(), not this. */
-extern Hooks *g_hooks;
+extern thread_local Hooks *g_hooks;
 } // namespace detail
 
 /** The installed hooks instance, or null when analysis is off. */
-inline Hooks *
+RCHDROID_NO_SANITIZE_NULL inline Hooks *
 hooks()
 {
     return detail::g_hooks;
 }
 
 /**
- * Install (or, with null, remove) the process-wide hooks. The simulation
- * is single-threaded; callers are expected to scope installation RAII-
+ * Install (or, with null, remove) this thread's hooks. The seam is
+ * thread-local so independent simulations on parallel experiment worker
+ * threads each see only their own analyzer; one simulation is still
+ * single-threaded. Callers are expected to scope installation RAII-
  * style (see analysis::ScopedAnalyzer).
  */
 void setHooks(Hooks *hooks);

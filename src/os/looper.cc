@@ -8,7 +8,7 @@
 
 namespace rchdroid {
 
-Looper *Looper::current_ = nullptr;
+thread_local Looper *Looper::current_ = nullptr;
 
 Looper::Looper(SimScheduler &scheduler, std::string name)
     : scheduler_(scheduler), name_(std::move(name))
@@ -111,9 +111,9 @@ Looper::onWakeup()
     dispatching_ = true;
     current_start_ = scheduler_.now();
     current_cost_ = msg->cost;
-    current_tag_ = msg->tag;
-    Looper *previous_current = current_;
-    current_ = this;
+    current_tag_ = std::move(msg->tag);
+    Looper *previous_current = current();
+    setCurrent(this);
     if (auto *hooks = analysis::hooks())
         hooks->onDispatchBegin(*this, msg->analysis_id, current_tag_);
 
@@ -121,7 +121,7 @@ Looper::onWakeup()
 
     if (auto *hooks = analysis::hooks())
         hooks->onDispatchEnd(*this);
-    current_ = previous_current;
+    setCurrent(previous_current);
     busy_until_ = current_start_ + current_cost_;
     total_busy_ += current_cost_;
     ++dispatched_;

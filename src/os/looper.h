@@ -19,6 +19,7 @@
 
 #include "os/message_queue.h"
 #include "os/scheduler.h"
+#include "platform/compiler.h"
 #include "platform/time.h"
 
 namespace rchdroid {
@@ -87,7 +88,7 @@ class Looper
      * any dispatch — the simulation's analogue of Looper.myLooper().
      * Used to enforce Android's UI-thread-only view mutation rule.
      */
-    static Looper *current() { return current_; }
+    RCHDROID_NO_SANITIZE_NULL static Looper *current() { return current_; }
 
     /**
      * Virtual time at which the current message's cost window ends; only
@@ -119,6 +120,12 @@ class Looper
     void armWakeup();
     void onWakeup();
 
+    /** Write the dispatch-owner seam (see current()). */
+    RCHDROID_NO_SANITIZE_NULL static void setCurrent(Looper *looper)
+    {
+        current_ = looper;
+    }
+
     SimScheduler &scheduler_;
     std::string name_;
     MessageQueue queue_;
@@ -138,8 +145,12 @@ class Looper
     /** Source of per-message analysis ids (see Message::analysis_id). */
     std::uint64_t next_msg_id_ = 0;
 
-    /** The looper currently dispatching (single-owner simulation). */
-    static Looper *current_;
+    /**
+     * The looper currently dispatching. Thread-local: each parallel
+     * experiment worker runs its own single-threaded simulation, and
+     * the "current thread" notion must not leak across workers.
+     */
+    static thread_local Looper *current_;
 };
 
 } // namespace rchdroid

@@ -10,70 +10,114 @@ void
 MessageQueue::enqueue(Message msg)
 {
     RCH_ASSERT(msg.callback != nullptr, "message without callback: ", msg.tag);
-    const std::uint64_t seq = next_seq_++;
-    // Find the insertion point: strictly after every message with an
-    // earlier-or-equal `when` (FIFO among equals).
-    std::size_t pos = messages_.size();
-    while (pos > 0 && messages_[pos - 1].when > msg.when)
-        --pos;
-    messages_.insert(messages_.begin() + static_cast<std::ptrdiff_t>(pos),
-                     std::move(msg));
-    seqs_.insert(seqs_.begin() + static_cast<std::ptrdiff_t>(pos), seq);
+    msg.seq = next_seq_++;
+    const SimTime when = msg.when;
+    const std::uint64_t seq = msg.seq;
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        slots_[slot] = std::move(msg);
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(std::move(msg));
+    }
+    heap_.push_back(HeapEntry{when, seq, slot});
+    std::push_heap(heap_.begin(), heap_.end(), laterThan);
 }
 
 std::optional<SimTime>
 MessageQueue::nextWhen() const
 {
-    if (messages_.empty())
+    if (heap_.empty())
         return std::nullopt;
-    return messages_.front().when;
+    return heap_.front().when;
 }
 
 std::optional<Message>
 MessageQueue::popDue(SimTime now_or_later)
 {
-    if (messages_.empty() || messages_.front().when > now_or_later)
+    if (heap_.empty() || heap_.front().when > now_or_later)
         return std::nullopt;
-    return popFront();
+    return takeHead();
 }
 
 std::optional<Message>
 MessageQueue::popFront()
 {
-    if (messages_.empty())
+    if (heap_.empty())
         return std::nullopt;
-    Message msg = std::move(messages_.front());
-    messages_.erase(messages_.begin());
-    seqs_.erase(seqs_.begin());
+    return takeHead();
+}
+
+Message
+MessageQueue::takeHead()
+{
+    std::uint32_t slot;
+    if (heap_.size() == 1) {
+        slot = heap_.front().slot;
+        heap_.clear();
+    } else {
+        std::pop_heap(heap_.begin(), heap_.end(), laterThan);
+        slot = heap_.back().slot;
+        heap_.pop_back();
+    }
+    Message msg = std::move(slots_[slot]);
+    if (heap_.empty()) {
+        // Quiescent: drop the (moved-from) slab shells so long-lived
+        // queues do not accumulate slots; capacity is retained.
+        slots_.clear();
+        free_slots_.clear();
+    } else {
+        free_slots_.push_back(slot);
+    }
     return msg;
+}
+
+template <typename Pred>
+std::size_t
+MessageQueue::removeMatching(Pred &&matches)
+{
+    // Single-pass filter over the heap keys; delivery order of survivors
+    // is unaffected because their (when, seq) keys are, so one re-heapify
+    // restores the invariant. The old per-match erase loop was O(n²).
+    std::size_t out = 0;
+    for (const HeapEntry &entry : heap_) {
+        if (matches(slots_[entry.slot])) {
+            // Release the payload now: removal must drop whatever the
+            // callback closure keeps alive, exactly like the old erase.
+            slots_[entry.slot] = Message();
+            free_slots_.push_back(entry.slot);
+        } else {
+            heap_[out++] = entry;
+        }
+    }
+    const std::size_t removed = heap_.size() - out;
+    if (removed == 0)
+        return 0;
+    heap_.resize(out);
+    if (heap_.empty()) {
+        slots_.clear();
+        free_slots_.clear();
+    } else {
+        std::make_heap(heap_.begin(), heap_.end(), laterThan);
+    }
+    return removed;
 }
 
 std::size_t
 MessageQueue::removeByToken(const void *token)
 {
-    std::size_t removed = 0;
-    for (std::size_t i = messages_.size(); i-- > 0;) {
-        if (messages_[i].token == token) {
-            messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
-            seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
-            ++removed;
-        }
-    }
-    return removed;
+    return removeMatching(
+        [token](const Message &m) { return m.token == token; });
 }
 
 std::size_t
 MessageQueue::removeByWhat(const void *token, int what)
 {
-    std::size_t removed = 0;
-    for (std::size_t i = messages_.size(); i-- > 0;) {
-        if (messages_[i].token == token && messages_[i].what == what) {
-            messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(i));
-            seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i));
-            ++removed;
-        }
-    }
-    return removed;
+    return removeMatching([token, what](const Message &m) {
+        return m.token == token && m.what == what;
+    });
 }
 
 } // namespace rchdroid

@@ -46,10 +46,24 @@ struct Message
      * dispatch in the analysis hooks; 0 before the looper accepts it.
      */
     std::uint64_t analysis_id = 0;
+    /**
+     * Queue-assigned arrival ticket breaking (when) ties FIFO; set by
+     * MessageQueue::enqueue, meaningless outside the queue.
+     */
+    std::uint64_t seq = 0;
 };
 
 /**
  * Time-ordered message store.
+ *
+ * Implemented as an indexed binary min-heap keyed (when, seq): the heap
+ * orders lightweight POD entries that point into a stable slab of
+ * Messages, so sift operations copy 24-byte keys instead of moving whole
+ * Message payloads (a std::function closure plus a tag string), and each
+ * payload is moved exactly once in and once out. Enqueue and pop are
+ * O(log n) where the previous sorted-vector representation paid O(n)
+ * payload moves for every enqueue ahead of the tail and every front pop.
+ * Bulk removal is a single O(n) filter + re-heapify.
  */
 class MessageQueue
 {
@@ -74,15 +88,37 @@ class MessageQueue
     /** Remove all messages owned by token with the given what. */
     std::size_t removeByWhat(const void *token, int what);
 
-    bool empty() const { return messages_.empty(); }
-    std::size_t size() const { return messages_.size(); }
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
 
   private:
-    // A sorted vector: queues here are short (tens of messages) and the
-    // dominant operations are push-back-ish inserts and front pops.
-    std::vector<Message> messages_;
+    /** Heap key: delivery order + the slab slot holding the payload. */
+    struct HeapEntry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    /** Heap predicate: does `a` deliver after `b`? Min-heap on (when, seq). */
+    static bool
+    laterThan(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
+    template <typename Pred> std::size_t removeMatching(Pred &&matches);
+
+    /** Take the payload of the heap head and release its slot. */
+    Message takeHead();
+
+    std::vector<HeapEntry> heap_;
+    /** Payload slab; slots listed in free_slots_ are vacant. */
+    std::vector<Message> slots_;
+    std::vector<std::uint32_t> free_slots_;
     std::uint64_t next_seq_ = 0;
-    std::vector<std::uint64_t> seqs_;
 };
 
 } // namespace rchdroid

@@ -1,5 +1,6 @@
 #include "os/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "platform/logging.h"
@@ -27,7 +28,17 @@ SimScheduler::scheduleAt(SimTime when, std::function<void()> fn)
                " now=", now_);
     RCH_ASSERT(fn != nullptr, "null event function");
     const EventId id = next_id_++;
-    queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        slots_[slot] = std::move(fn);
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(std::move(fn));
+    }
+    heap_.push_back(HeapEntry{when, next_seq_++, id, slot});
+    std::push_heap(heap_.begin(), heap_.end(), laterThan);
     return id;
 }
 
@@ -36,39 +47,92 @@ SimScheduler::cancel(EventId id)
 {
     if (id == kInvalidEventId)
         return false;
-    // Lazy cancellation: mark a tombstone; runNext() skips it.
+    // Lazy cancellation: mark a tombstone; the dispatch loop skips it.
     if (id >= next_id_)
         return false;
+    if (heap_.empty()) {
+        // Nothing pending, so the event already ran (or was reclaimed).
+        return false;
+    }
     auto [it, inserted] = cancelled_.insert(id);
     (void)it;
     return inserted;
 }
 
+std::uint32_t
+SimScheduler::popHeadSlot()
+{
+    std::uint32_t slot;
+    if (heap_.size() == 1) {
+        slot = heap_.front().slot;
+        heap_.clear();
+    } else {
+        std::pop_heap(heap_.begin(), heap_.end(), laterThan);
+        slot = heap_.back().slot;
+        heap_.pop_back();
+    }
+    return slot;
+}
+
+void
+SimScheduler::releaseSlot(std::uint32_t slot)
+{
+    if (heap_.empty()) {
+        // Quiescent: drop the slab shells so long-lived schedulers do
+        // not accumulate slots; capacity is retained.
+        slots_.clear();
+        free_slots_.clear();
+    } else {
+        free_slots_.push_back(slot);
+    }
+}
+
+void
+SimScheduler::dropCancelledHead()
+{
+    while (!cancelled_.empty() && !heap_.empty()) {
+        auto cancelled_it = cancelled_.find(heap_.front().id);
+        if (cancelled_it == cancelled_.end())
+            return;
+        cancelled_.erase(cancelled_it);
+        const std::uint32_t slot = popHeadSlot();
+        // Release the closure now: cancellation must drop whatever it
+        // keeps alive, exactly like the old pop-and-discard.
+        slots_[slot] = nullptr;
+        releaseSlot(slot);
+    }
+    if (heap_.empty()) {
+        // Queue drained: any remaining tombstones name events that
+        // already ran (cancel raced the dispatch); purge them.
+        cancelled_.clear();
+    }
+}
+
 bool
 SimScheduler::runNext()
 {
-    while (!queue_.empty()) {
-        Event ev = queue_.top();
-        queue_.pop();
-        auto cancelled_it = cancelled_.find(ev.id);
-        if (cancelled_it != cancelled_.end()) {
-            cancelled_.erase(cancelled_it);
-            continue;
-        }
-        RCH_ASSERT(ev.when >= now_, "time went backwards");
-        now_ = ev.when;
-        ++executed_;
-        ev.fn();
-        return true;
-    }
-    return false;
+    dropCancelledHead();
+    if (heap_.empty())
+        return false;
+    const SimTime when = heap_.front().when;
+    RCH_ASSERT(when >= now_, "time went backwards");
+    const std::uint32_t slot = popHeadSlot();
+    std::function<void()> fn = std::move(slots_[slot]);
+    releaseSlot(slot);
+    now_ = when;
+    ++executed_;
+    fn();
+    return true;
 }
 
 void
 SimScheduler::runUntil(SimTime limit)
 {
     std::uint64_t guard = 0;
-    while (!queue_.empty() && queue_.top().when <= limit) {
+    for (;;) {
+        dropCancelledHead();
+        if (heap_.empty() || heap_.front().when > limit)
+            break;
         if (!runNext())
             break;
         RCH_ASSERT(++guard < kMaxEventsPerRun, "event storm before ",
@@ -96,14 +160,22 @@ SimScheduler::step()
 std::size_t
 SimScheduler::pendingEvents() const
 {
-    return queue_.size();
+    if (cancelled_.empty())
+        return heap_.size();
+    return static_cast<std::size_t>(
+        std::count_if(heap_.begin(), heap_.end(),
+                      [this](const HeapEntry &entry) {
+                          return cancelled_.find(entry.id) ==
+                                 cancelled_.end();
+                      }));
 }
 
 void
 SimScheduler::advanceTo(SimTime when)
 {
     RCH_ASSERT(when >= now_, "advanceTo in the past");
-    RCH_ASSERT(queue_.empty() || queue_.top().when >= when,
+    dropCancelledHead();
+    RCH_ASSERT(heap_.empty() || heap_.front().when >= when,
                "advanceTo would skip a pending event");
     now_ = when;
 }

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -33,6 +32,13 @@ inline constexpr EventId kInvalidEventId = 0;
  * Events at equal timestamps run in schedule order (FIFO), which is the
  * property Android's MessageQueue relies on and the lazy-migration logic
  * depends on for determinism.
+ *
+ * The pending set is an indexed binary min-heap on (when, seq) rather
+ * than a std::priority_queue: the heap orders 32-byte POD keys pointing
+ * into a stable slab of closures, so sifts never move a std::function,
+ * the dispatch loop moves each closure out exactly once instead of
+ * copying it, runUntil() peeks past cancelled tombstones, and
+ * pendingEvents() counts live events.
  */
 class SimScheduler
 {
@@ -69,8 +75,15 @@ class SimScheduler
      */
     bool step();
 
-    /** Number of events waiting (including cancelled tombstones). */
+    /** Number of live (non-cancelled) events waiting. */
     std::size_t pendingEvents() const;
+
+    /**
+     * Cancelled events still occupying heap slots. Tombstones are
+     * reclaimed as the heap pops past them and purged wholesale whenever
+     * the queue drains; exposed for tests and telemetry.
+     */
+    std::size_t cancelledTombstones() const { return cancelled_.size(); }
 
     /** Total events executed since construction (for tests/telemetry). */
     std::uint64_t executedEvents() const { return executed_; }
@@ -83,29 +96,40 @@ class SimScheduler
     void advanceTo(SimTime when);
 
   private:
-    struct Event
+    /** Heap key: firing order + the slab slot holding the closure. */
+    struct HeapEntry
     {
         SimTime when;
         std::uint64_t seq;
         EventId id;
-        std::function<void()> fn;
-
-        bool
-        operator>(const Event &other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
+        std::uint32_t slot;
     };
 
+    /** Heap predicate: does `a` fire after `b`? Min-heap on (when, seq). */
+    static bool
+    laterThan(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
     bool runNext();
+    /** Pop cancelled events off the heap top; reclaim their tombstones. */
+    void dropCancelledHead();
+    /** Pop the heap head and return its slab slot. */
+    std::uint32_t popHeadSlot();
+    /** Return a slot to the free list (or reset the slab on drain). */
+    void releaseSlot(std::uint32_t slot);
 
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 1;
     EventId next_id_ = 1;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::vector<HeapEntry> heap_;
+    /** Closure slab; slots listed in free_slots_ are vacant. */
+    std::vector<std::function<void()>> slots_;
+    std::vector<std::uint32_t> free_slots_;
     std::unordered_set<EventId> cancelled_;
 };
 

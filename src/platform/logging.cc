@@ -1,5 +1,8 @@
 #include "platform/logging.h"
 
+#include "platform/compiler.h"
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -8,8 +11,26 @@ namespace rchdroid {
 
 namespace {
 
-LogLevel g_min_level = LogLevel::Warn;
-bool g_quiet = false;
+// The minimum level is process-wide (set once at startup, read from any
+// worker thread of a parallel experiment run), so it is atomic. The quiet
+// flag is thread-local: ScopedLogSilencer is inherently scope-confined,
+// and a silencer on one worker must not mute the others.
+std::atomic<LogLevel> g_min_level{LogLevel::Warn};
+thread_local bool g_quiet = false;
+
+// All g_quiet access goes through these two (see RCHDROID_NO_SANITIZE_NULL
+// in platform/compiler.h for the GCC 12 TLS miscompile they work around).
+RCHDROID_NO_SANITIZE_NULL bool
+readQuiet()
+{
+    return g_quiet;
+}
+
+RCHDROID_NO_SANITIZE_NULL void
+writeQuiet(bool quiet)
+{
+    g_quiet = quiet;
+}
 
 const char *
 levelTag(LogLevel level)
@@ -28,41 +49,41 @@ levelTag(LogLevel level)
 LogLevel
 LogConfig::minLevel()
 {
-    return g_min_level;
+    return g_min_level.load(std::memory_order_relaxed);
 }
 
 void
 LogConfig::setMinLevel(LogLevel level)
 {
-    g_min_level = level;
+    g_min_level.store(level, std::memory_order_relaxed);
 }
 
 bool
 LogConfig::quiet()
 {
-    return g_quiet;
+    return readQuiet();
 }
 
 void
 LogConfig::setQuiet(bool quiet)
 {
-    g_quiet = quiet;
+    writeQuiet(quiet);
 }
 
-ScopedLogSilencer::ScopedLogSilencer() : previous_(g_quiet)
+ScopedLogSilencer::ScopedLogSilencer() : previous_(readQuiet())
 {
-    g_quiet = true;
+    writeQuiet(true);
 }
 
 ScopedLogSilencer::~ScopedLogSilencer()
 {
-    g_quiet = previous_;
+    writeQuiet(previous_);
 }
 
 void
 logMessage(LogLevel level, const std::string &tag, const std::string &text)
 {
-    if (g_quiet || level < g_min_level)
+    if (readQuiet() || level < g_min_level.load(std::memory_order_relaxed))
         return;
     std::fprintf(stderr, "%s/%s: %s\n", levelTag(level), tag.c_str(),
                  text.c_str());

@@ -27,20 +27,23 @@ enum class LogLevel {
  * Global log configuration.
  *
  * Tests silence the logger; benches keep Info so harness progress shows.
+ * The minimum level is process-wide (atomic, safe to read from parallel
+ * experiment workers); the quiet flag is thread-local so a silencer on
+ * one worker thread never mutes the others.
  */
 class LogConfig
 {
   public:
-    /** Minimum level that is actually emitted. */
+    /** Minimum level that is actually emitted (process-wide). */
     static LogLevel minLevel();
     /** Raise/lower the emission threshold. */
     static void setMinLevel(LogLevel level);
-    /** True while a scoped silencer is active (used in tests). */
+    /** True while a scoped silencer is active on this thread. */
     static bool quiet();
     static void setQuiet(bool quiet);
 };
 
-/** RAII guard that silences all logging within a scope. */
+/** RAII guard that silences all logging on this thread within a scope. */
 class ScopedLogSilencer
 {
   public:

@@ -10,6 +10,13 @@ namespace rchdroid::sim {
 void
 TraceRecorder::record(const TelemetryEvent &event)
 {
+    ++counts_[event.kind];
+    if (event.kind == "atms.configChange") {
+        episodes_.push_back(HandlingEpisode{event.time, std::nullopt});
+    } else if (event.kind == "atms.activityResumed") {
+        if (!episodes_.empty() && !episodes_.back().end)
+            episodes_.back().end = event.time;
+    }
     events_.push_back(event);
 }
 
@@ -27,12 +34,8 @@ TraceRecorder::eventsOfKind(const std::string &kind) const
 std::size_t
 TraceRecorder::countOfKind(const std::string &kind) const
 {
-    std::size_t n = 0;
-    for (const auto &event : events_) {
-        if (event.kind == kind)
-            ++n;
-    }
-    return n;
+    const auto it = counts_.find(kind);
+    return it == counts_.end() ? 0 : it->second;
 }
 
 std::optional<TelemetryEvent>
@@ -43,21 +46,6 @@ TraceRecorder::lastOfKind(const std::string &kind) const
             return *it;
     }
     return std::nullopt;
-}
-
-std::vector<HandlingEpisode>
-TraceRecorder::handlingEpisodes() const
-{
-    std::vector<HandlingEpisode> episodes;
-    for (const auto &event : events_) {
-        if (event.kind == "atms.configChange") {
-            episodes.push_back(HandlingEpisode{event.time, std::nullopt});
-        } else if (event.kind == "atms.activityResumed") {
-            if (!episodes.empty() && !episodes.back().end)
-                episodes.back().end = event.time;
-        }
-    }
-    return episodes;
 }
 
 std::string
@@ -94,8 +82,7 @@ TraceRecorder::writeCsv(const std::string &path) const
 double
 TraceRecorder::lastHandlingMs() const
 {
-    const auto episodes = handlingEpisodes();
-    for (auto it = episodes.rbegin(); it != episodes.rend(); ++it) {
+    for (auto it = episodes_.rbegin(); it != episodes_.rend(); ++it) {
         if (it->completed())
             return it->durationMs();
     }

@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "platform/telemetry.h"
@@ -35,6 +36,11 @@ struct HandlingEpisode
 
 /**
  * Event store + metric extraction.
+ *
+ * Per-kind counts and handling episodes are maintained incrementally in
+ * record(): harness predicates poll countOfKind()/lastHandlingMs() after
+ * every scheduler step, so deriving them by rescanning the event log
+ * made long-lived systems quadratic in their own history.
  */
 class TraceRecorder final : public TelemetrySink
 {
@@ -42,7 +48,13 @@ class TraceRecorder final : public TelemetrySink
     void record(const TelemetryEvent &event) override;
 
     const std::vector<TelemetryEvent> &events() const { return events_; }
-    void clear() { events_.clear(); }
+    void
+    clear()
+    {
+        events_.clear();
+        counts_.clear();
+        episodes_.clear();
+    }
 
     /** Events whose kind matches exactly. */
     std::vector<TelemetryEvent> eventsOfKind(const std::string &kind) const;
@@ -51,11 +63,14 @@ class TraceRecorder final : public TelemetrySink
     std::optional<TelemetryEvent> lastOfKind(const std::string &kind) const;
 
     /**
-     * Pair each atms.configChange with the first atms.activityResumed
+     * Each atms.configChange paired with the first atms.activityResumed
      * after it (and before the next change). Crashed handlings stay
      * open (no end).
      */
-    std::vector<HandlingEpisode> handlingEpisodes() const;
+    const std::vector<HandlingEpisode> &handlingEpisodes() const
+    {
+        return episodes_;
+    }
 
     /** Duration of the most recent completed episode, ms; -1 if none. */
     double lastHandlingMs() const;
@@ -74,6 +89,10 @@ class TraceRecorder final : public TelemetrySink
 
   private:
     std::vector<TelemetryEvent> events_;
+    /** Incremental per-kind tallies backing countOfKind(). */
+    std::unordered_map<std::string, std::size_t> counts_;
+    /** Incrementally paired episodes backing handlingEpisodes(). */
+    std::vector<HandlingEpisode> episodes_;
 };
 
 } // namespace rchdroid::sim

@@ -4,6 +4,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "os/message_queue.h"
 
 namespace rchdroid {
@@ -93,6 +96,170 @@ TEST(MessageQueue, OrderStableAfterRemoval)
     queue.removeByToken(&tok);
     EXPECT_EQ(queue.popFront()->what, 1);
     EXPECT_EQ(queue.popFront()->what, 3);
+}
+
+/**
+ * Naive reference queue: an append-only vector popped by a linear scan
+ * for the earliest (when, arrival) pair — obviously correct, O(n) per
+ * op. The indexed heap must agree with it on every observable.
+ */
+struct ReferenceQueue
+{
+    struct Entry
+    {
+        SimTime when;
+        int what;
+        const void *token;
+        std::uint64_t arrival;
+    };
+
+    std::vector<Entry> entries;
+    std::uint64_t next_arrival = 0;
+
+    void
+    enqueue(SimTime when, int what, const void *token)
+    {
+        entries.push_back({when, what, token, next_arrival++});
+    }
+
+    std::vector<Entry>::iterator
+    head()
+    {
+        auto best = entries.begin();
+        for (auto it = entries.begin(); it != entries.end(); ++it) {
+            if (it->when < best->when ||
+                (it->when == best->when && it->arrival < best->arrival))
+                best = it;
+        }
+        return best;
+    }
+
+    std::size_t
+    removeIf(const std::function<bool(const Entry &)> &matches)
+    {
+        const std::size_t before = entries.size();
+        entries.erase(
+            std::remove_if(entries.begin(), entries.end(), matches),
+            entries.end());
+        return before - entries.size();
+    }
+};
+
+TEST(MessageQueue, RandomizedAgainstReferenceModel)
+{
+    MessageQueue queue;
+    ReferenceQueue ref;
+    int token_a = 0, token_b = 0, token_c = 0;
+    const void *tokens[] = {&token_a, &token_b, &token_c, nullptr};
+
+    // Deterministic LCG so a failure reproduces exactly.
+    std::uint64_t rng = 0x5eed5eed;
+    auto next = [&rng] {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<std::uint64_t>(rng >> 33);
+    };
+
+    for (int op = 0; op < 5000; ++op) {
+        switch (next() % 6) {
+        case 0:
+        case 1:
+        case 2: { // enqueue twice as likely as each other op
+            const SimTime when = static_cast<SimTime>(next() % 64);
+            const int what = static_cast<int>(next() % 4);
+            const void *token = tokens[next() % 4];
+            Message m;
+            m.callback = [] {};
+            m.when = when;
+            m.what = what;
+            m.token = token;
+            queue.enqueue(std::move(m));
+            ref.enqueue(when, what, token);
+            break;
+        }
+        case 3: { // popFront
+            const auto popped = queue.popFront();
+            if (ref.entries.empty()) {
+                ASSERT_FALSE(popped.has_value()) << "op " << op;
+                break;
+            }
+            const auto expect = ref.head();
+            ASSERT_TRUE(popped.has_value()) << "op " << op;
+            ASSERT_EQ(popped->when, expect->when) << "op " << op;
+            ASSERT_EQ(popped->what, expect->what) << "op " << op;
+            ASSERT_EQ(popped->token, expect->token) << "op " << op;
+            ref.entries.erase(expect);
+            break;
+        }
+        case 4: { // popDue at a random time
+            const SimTime t = static_cast<SimTime>(next() % 64);
+            const auto popped = queue.popDue(t);
+            const bool due = !ref.entries.empty() && ref.head()->when <= t;
+            ASSERT_EQ(popped.has_value(), due) << "op " << op;
+            if (due) {
+                const auto expect = ref.head();
+                ASSERT_EQ(popped->when, expect->when) << "op " << op;
+                ASSERT_EQ(popped->what, expect->what) << "op " << op;
+                ASSERT_EQ(popped->token, expect->token) << "op " << op;
+                ref.entries.erase(expect);
+            }
+            break;
+        }
+        case 5: { // bulk removal
+            const void *token = tokens[next() % 4];
+            if (next() % 2) {
+                const int what = static_cast<int>(next() % 4);
+                const std::size_t removed = queue.removeByWhat(token, what);
+                const std::size_t expect = ref.removeIf(
+                    [token, what](const ReferenceQueue::Entry &e) {
+                        return e.token == token && e.what == what;
+                    });
+                ASSERT_EQ(removed, expect) << "op " << op;
+            } else {
+                const std::size_t removed = queue.removeByToken(token);
+                const std::size_t expect =
+                    ref.removeIf([token](const ReferenceQueue::Entry &e) {
+                        return e.token == token;
+                    });
+                ASSERT_EQ(removed, expect) << "op " << op;
+            }
+            break;
+        }
+        }
+        ASSERT_EQ(queue.size(), ref.entries.size()) << "op " << op;
+        ASSERT_EQ(queue.empty(), ref.entries.empty()) << "op " << op;
+        if (!ref.entries.empty()) {
+            ASSERT_EQ(queue.nextWhen(), ref.head()->when) << "op " << op;
+        }
+    }
+
+    // Drain: delivery order must match the reference exactly.
+    while (!ref.entries.empty()) {
+        const auto expect = ref.head();
+        const auto popped = queue.popFront();
+        ASSERT_TRUE(popped.has_value());
+        ASSERT_EQ(popped->when, expect->when);
+        ASSERT_EQ(popped->what, expect->what);
+        ASSERT_EQ(popped->token, expect->token);
+        ref.entries.erase(expect);
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(MessageQueue, RemovalReleasesPayloadResources)
+{
+    // Removal must drop whatever the callback closure keeps alive, even
+    // though the slab slot itself is recycled rather than erased.
+    MessageQueue queue;
+    auto alive = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = alive;
+    int token = 0;
+    Message m;
+    m.callback = [keep = std::move(alive)] { (void)*keep; };
+    m.when = 5;
+    m.token = &token;
+    queue.enqueue(std::move(m));
+    ASSERT_EQ(queue.removeByToken(&token), 1u);
+    EXPECT_TRUE(watch.expired());
 }
 
 TEST(MessageQueueDeath, NullCallbackPanics)

@@ -109,11 +109,107 @@ TEST(Scheduler, ExecutedEventsCounts)
     EXPECT_EQ(scheduler.executedEvents(), 7u);
 }
 
+TEST(Scheduler, PendingEventsReportsOnlyLiveEvents)
+{
+    SimScheduler scheduler;
+    const EventId a = scheduler.schedule(milliseconds(1), [] {});
+    scheduler.schedule(milliseconds(2), [] {});
+    const EventId c = scheduler.schedule(milliseconds(3), [] {});
+    EXPECT_EQ(scheduler.pendingEvents(), 3u);
+    scheduler.cancel(a);
+    scheduler.cancel(c);
+    EXPECT_EQ(scheduler.pendingEvents(), 1u);
+    EXPECT_EQ(scheduler.cancelledTombstones(), 2u);
+}
+
+TEST(Scheduler, TombstonesPurgedWhenQueueDrains)
+{
+    SimScheduler scheduler;
+    int ran = 0;
+    scheduler.schedule(milliseconds(1), [&] { ++ran; });
+    const EventId mid = scheduler.schedule(milliseconds(2), [] {});
+    scheduler.schedule(milliseconds(3), [&] { ++ran; });
+    scheduler.cancel(mid);
+    scheduler.runUntilIdle();
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(scheduler.pendingEvents(), 0u);
+    EXPECT_EQ(scheduler.cancelledTombstones(), 0u);
+}
+
+TEST(Scheduler, CancelRacingDispatchIsPurgedOnDrain)
+{
+    // Cancelling from inside the event being dispatched cannot stop it,
+    // but the stale tombstone must not outlive the drain.
+    SimScheduler scheduler;
+    EventId self = kInvalidEventId;
+    self = scheduler.schedule(milliseconds(1),
+                              [&] { scheduler.cancel(self); });
+    scheduler.schedule(milliseconds(2), [] {});
+    scheduler.runUntilIdle();
+    EXPECT_EQ(scheduler.cancelledTombstones(), 0u);
+}
+
+TEST(Scheduler, RunUntilDoesNotRunPastLimitWhenHeadCancelled)
+{
+    // Regression: the limit check used to look at the raw queue head, so
+    // a cancelled head at/below the limit let the *next* event run even
+    // when it was past the limit.
+    SimScheduler scheduler;
+    int ran = 0;
+    const EventId head = scheduler.schedule(milliseconds(10), [&] { ++ran; });
+    scheduler.schedule(milliseconds(50), [&] { ++ran; });
+    scheduler.cancel(head);
+    scheduler.runUntil(milliseconds(20));
+    EXPECT_EQ(ran, 0);
+    EXPECT_EQ(scheduler.now(), milliseconds(20));
+    scheduler.runUntilIdle();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(Scheduler, SlotReuseKeepsOrderAndPayloads)
+{
+    // Interleave executes and cancels so slab slots recycle, then check
+    // ordering and payload integrity across the reuse boundary.
+    SimScheduler scheduler;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 16; ++i) {
+        ids.push_back(
+            scheduler.schedule(milliseconds(i), [&order, i] {
+                order.push_back(i);
+            }));
+    }
+    for (int i = 1; i < 16; i += 2)
+        EXPECT_TRUE(scheduler.cancel(ids[i]));
+    for (int i = 16; i < 24; ++i) {
+        scheduler.schedule(milliseconds(i), [&order, i] {
+            order.push_back(i);
+        });
+    }
+    scheduler.runUntilIdle();
+    std::vector<int> expected;
+    for (int i = 0; i < 16; i += 2)
+        expected.push_back(i);
+    for (int i = 16; i < 24; ++i)
+        expected.push_back(i);
+    EXPECT_EQ(order, expected);
+    EXPECT_EQ(scheduler.cancelledTombstones(), 0u);
+}
+
 TEST(Scheduler, AdvanceToMovesIdleClock)
 {
     SimScheduler scheduler;
     scheduler.advanceTo(seconds(5));
     EXPECT_EQ(scheduler.now(), seconds(5));
+}
+
+TEST(Scheduler, AdvanceToSkipsOverCancelledHead)
+{
+    SimScheduler scheduler;
+    const EventId id = scheduler.schedule(milliseconds(10), [] {});
+    scheduler.cancel(id);
+    scheduler.advanceTo(milliseconds(30));
+    EXPECT_EQ(scheduler.now(), milliseconds(30));
 }
 
 TEST(SchedulerDeath, ScheduleInPastPanics)

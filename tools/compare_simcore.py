@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Advisory comparison of a BENCH_simcore.json run against the baseline.
+
+Usage: compare_simcore.py BASELINE_JSON CURRENT_JSON [--threshold=0.20]
+
+Prints one line per single-thread workload plus the parallel speedup.
+Any workload whose events/sec regressed by more than the threshold gets
+a GitHub Actions ::warning:: annotation. The exit code is always 0 —
+micro-benchmark numbers on shared CI runners are advisory, not gating;
+the checked-in baseline is refreshed from CI artifacts when the numbers
+move for a good reason.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    threshold = 0.20
+    for arg in argv[3:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        current = json.load(f)
+
+    base_hw = baseline.get("hardware_concurrency")
+    cur_hw = current.get("hardware_concurrency")
+    if base_hw != cur_hw:
+        print(f"note: baseline recorded on {base_hw} core(s), this run on "
+              f"{cur_hw} — absolute numbers are not directly comparable")
+
+    regressed = []
+    for name, base in baseline.get("single_thread", {}).items():
+        cur = current.get("single_thread", {}).get(name)
+        if cur is None:
+            print(f"::warning::simcore workload '{name}' missing from run")
+            continue
+        base_eps = base.get("events_per_sec", 0)
+        cur_eps = cur.get("events_per_sec", 0)
+        delta = (cur_eps - base_eps) / base_eps if base_eps else 0.0
+        print(f"{name}: {cur_eps:,.0f} events/s "
+              f"(baseline {base_eps:,.0f}, {delta:+.1%})")
+        if delta < -threshold:
+            regressed.append((name, delta))
+
+    matrix = current.get("parallel_matrix", {})
+    print(f"parallel matrix: speedup {matrix.get('speedup', 0):.2f}x at "
+          f"jobs={matrix.get('jobs')}, "
+          f"identical_to_serial={matrix.get('identical_to_serial')}")
+    if matrix.get("identical_to_serial") is not True:
+        print("::warning::simcore parallel aggregate diverged from serial")
+
+    for name, delta in regressed:
+        print(f"::warning::simcore events/sec regression in {name}: "
+              f"{delta:+.1%} vs baseline (threshold -{threshold:.0%})")
+    if not regressed:
+        print(f"no workload regressed more than {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
