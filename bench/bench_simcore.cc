@@ -27,6 +27,8 @@
 #include "os/looper.h"
 #include "os/scheduler.h"
 #include "platform/logging.h"
+#include "platform/metrics.h"
+#include "sim/dumpsys.h"
 
 namespace rchdroid::bench {
 namespace {
@@ -248,9 +250,33 @@ runMatrix(int jobs)
     return result;
 }
 
+/**
+ * Metrics snapshot embedded in the report. Runs a short RCHDroid
+ * rotation workload in its own metrics scope *after* the timed
+ * workloads, so the timed sections run with no registry installed —
+ * exactly the configuration whose overhead the baseline comparison
+ * gates.
+ */
+std::string
+collectMetricsJson()
+{
+    metrics::MetricsRegistry registry;
+    metrics::ScopedMetricsRegistry guard(&registry);
+    sim::AndroidSystem system(optionsFor(RuntimeChangeMode::RchDroid));
+    const auto spec = apps::makeBenchmarkApp(8);
+    system.install(spec);
+    system.launch(spec);
+    for (int i = 0; i < 20; ++i) {
+        system.rotate();
+        system.waitHandlingComplete();
+        system.runFor(seconds(1));
+    }
+    return sim::metricsJson(system, &registry);
+}
+
 void
 writeJson(const std::string &path, const std::vector<WorkloadResult> &loads,
-          const MatrixResult &matrix)
+          const MatrixResult &matrix, const std::string &metrics_json)
 {
     std::FILE *out = std::fopen(path.c_str(), "w");
     if (!out) {
@@ -295,7 +321,15 @@ writeJson(const std::string &path, const std::vector<WorkloadResult> &loads,
                  kPreChangeDeepQueueEps);
     std::fprintf(out, "    \"system_rotations_events_per_sec\": %.0f\n",
                  kPreChangeRotationsEps);
-    std::fprintf(out, "  }\n");
+    std::fprintf(out, "  },\n");
+    // Metrics snapshot of a short instrumented rotation run (the timed
+    // workloads above ran registry-free).
+    std::string metrics = metrics_json;
+    while (!metrics.empty() &&
+           (metrics.back() == '\n' || metrics.back() == ' '))
+        metrics.pop_back();
+    std::fprintf(out, "  \"metrics\": %s\n",
+                 metrics.empty() ? "{}" : metrics.c_str());
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", path.c_str());
@@ -331,7 +365,7 @@ run(int jobs, const std::string &out_path)
     std::printf("parallel aggregate bit-identical to serial: %s\n",
                 matrix.identical ? "yes" : "NO");
 
-    writeJson(out_path, loads, matrix);
+    writeJson(out_path, loads, matrix, collectMetricsJson());
     return matrix.identical ? 0 : 1;
 }
 

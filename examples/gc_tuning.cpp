@@ -14,6 +14,7 @@
 
 #include "analysis/analyzer.h"
 #include "platform/stats.h"
+#include "observability.h"
 #include "sim/android_system.h"
 
 using namespace rchdroid;
@@ -30,7 +31,8 @@ struct PolicyResult
 };
 
 PolicyResult
-runPolicy(const char *label, RchConfig rch)
+runPolicy(const char *label, RchConfig rch,
+          rchdroid::examples::ObservabilityFlags &obs)
 {
     sim::SystemOptions options;
     options.mode = RuntimeChangeMode::RchDroid;
@@ -64,6 +66,7 @@ runPolicy(const char *label, RchConfig rch)
                 static_cast<unsigned long long>(result.flips),
                 static_cast<unsigned long long>(result.inits),
                 static_cast<unsigned long long>(result.collections));
+    obs.report(device);
     return result;
 }
 
@@ -73,6 +76,7 @@ int
 main(int argc, char **argv)
 {
     analysis::CheckMode check(argc, argv);
+    examples::ObservabilityFlags obs(argc, argv);
     std::printf("one rotation every 12 s for 3 minutes, three GC "
                 "policies:\n\n");
 
@@ -89,9 +93,9 @@ main(int argc, char **argv)
     hoarder.thresh_t = minutes(10);
     hoarder.gc_interval = seconds(1);
 
-    const auto eager_result = runPolicy("eager", eager);
-    const auto paper_result = runPolicy("paper", paper);
-    const auto hoarder_result = runPolicy("hoarder", hoarder);
+    const auto eager_result = runPolicy("eager", eager, obs);
+    const auto paper_result = runPolicy("paper", paper, obs);
+    const auto hoarder_result = runPolicy("hoarder", hoarder, obs);
 
     std::printf("\nreading the trade-off (Fig. 11 of the paper):\n");
     std::printf("  eager reclaims between changes, so most changes pay "
@@ -105,5 +109,7 @@ main(int argc, char **argv)
                 "cadence (flips=%llu)\n  at hoarder-level latency without "
                 "hoarding across long idles.\n",
                 static_cast<unsigned long long>(paper_result.flips));
-    return check.finish();
+    const int obs_rc = obs.finish();
+    const int check_rc = check.finish();
+    return check_rc ? check_rc : obs_rc;
 }

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "analysis/analyzer.h"
+#include "observability.h"
 #include "sim/android_system.h"
 #include "view/text_view.h"
 #include "view/view_group.h"
@@ -86,7 +87,7 @@ class LoginActivity final : public Activity
 };
 
 void
-runOn(RuntimeChangeMode mode)
+runOn(RuntimeChangeMode mode, examples::ObservabilityFlags &obs)
 {
     sim::SystemOptions options;
     options.mode = mode;
@@ -120,6 +121,7 @@ runOn(RuntimeChangeMode mode)
                 runtimeChangeModeName(mode),
                 after->nameBox()->text().c_str(),
                 after->rememberMe()->isChecked() ? "on" : "off");
+    obs.report(device);
 }
 
 } // namespace
@@ -128,11 +130,14 @@ int
 main(int argc, char **argv)
 {
     analysis::CheckMode check(argc, argv);
+    examples::ObservabilityFlags obs(argc, argv);
     std::printf("half-typed login form through a resize and a language "
                 "switch:\n\n");
-    runOn(RuntimeChangeMode::Restart);
-    runOn(RuntimeChangeMode::RchDroid);
+    runOn(RuntimeChangeMode::Restart, obs);
+    runOn(RuntimeChangeMode::RchDroid, obs);
     std::printf("\nthe Fig. 13(a) loss class (id-less text box) and its "
                 "RCHDroid fix.\n");
-    return check.finish();
+    const int obs_rc = obs.finish();
+    const int check_rc = check.finish();
+    return check_rc ? check_rc : obs_rc;
 }

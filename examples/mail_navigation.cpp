@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "analysis/analyzer.h"
+#include "observability.h"
 #include "sim/android_system.h"
 #include "view/list_view.h"
 #include "view/text_view.h"
@@ -87,6 +88,7 @@ int
 main(int argc, char **argv)
 {
     analysis::CheckMode check(argc, argv);
+    examples::ObservabilityFlags obs(argc, argv);
     sim::SystemOptions options;
     options.mode = RuntimeChangeMode::RchDroid;
     sim::AndroidSystem device(options);
@@ -135,5 +137,8 @@ main(int argc, char **argv)
     auto resumed = device.foregroundActivityOf(kProcess);
     std::printf("\nsearch box after the whole journey: \"%s\"\n",
                 resumed->findViewByIdAs<EditText>("search")->text().c_str());
-    return check.finish();
+    obs.report(device);
+    const int obs_rc = obs.finish();
+    const int check_rc = check.finish();
+    return check_rc ? check_rc : obs_rc;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "observability.h"
 #include "sim/android_system.h"
 #include "view/image_view.h"
 #include "view/text_view.h"
@@ -73,7 +74,7 @@ class GalleryActivity final : public Activity
 };
 
 void
-runOn(RuntimeChangeMode mode)
+runOn(RuntimeChangeMode mode, examples::ObservabilityFlags &obs)
 {
     sim::SystemOptions options;
     options.mode = mode;
@@ -103,6 +104,7 @@ runOn(RuntimeChangeMode mode)
                     thread.crashInfo()->reason.c_str());
         std::printf("  (the AsyncTask returned into the restarted "
                     "activity's released views)\n");
+        obs.report(device);
         return;
     }
     auto foreground = device.foregroundActivityOf("com.example.photos");
@@ -123,6 +125,7 @@ runOn(RuntimeChangeMode mode)
                 lifecycleStateName(activity->lifecycleState()),
                 static_cast<unsigned long long>(
                     handler ? handler->stats().views_migrated : 0));
+    obs.report(device);
 }
 
 } // namespace
@@ -131,9 +134,12 @@ int
 main(int argc, char **argv)
 {
     analysis::CheckMode check(argc, argv);
+    examples::ObservabilityFlags obs(argc, argv);
     std::printf("rotating a photo gallery mid-download (Fig. 1 of the "
                 "paper):\n\n");
-    runOn(RuntimeChangeMode::Restart);
-    runOn(RuntimeChangeMode::RchDroid);
-    return check.finish();
+    runOn(RuntimeChangeMode::Restart, obs);
+    runOn(RuntimeChangeMode::RchDroid, obs);
+    const int obs_rc = obs.finish();
+    const int check_rc = check.finish();
+    return check_rc ? check_rc : obs_rc;
 }

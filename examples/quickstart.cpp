@@ -5,6 +5,7 @@
  * with zero runtime-change code in the app.
  *
  *   $ ./quickstart
+ *   $ ./quickstart --trace-out=trace.json --metrics-json=metrics.json --dumpsys
  *
  * The same app runs on stock Android 10 first, so the before/after is
  * visible in one output.
@@ -13,6 +14,7 @@
 #include <memory>
 
 #include "analysis/analyzer.h"
+#include "observability.h"
 #include "sim/android_system.h"
 #include "view/text_view.h"
 #include "view/view_group.h"
@@ -49,7 +51,7 @@ class NotesActivity final : public Activity
 
 /** Run the scenario on one system and report what the user sees. */
 void
-runOn(RuntimeChangeMode mode)
+runOn(RuntimeChangeMode mode, examples::ObservabilityFlags &obs)
 {
     sim::SystemOptions options;
     options.mode = mode;
@@ -92,6 +94,7 @@ runOn(RuntimeChangeMode mode)
                 runtimeChangeModeName(mode), device.lastHandlingMs(),
                 after->findViewByIdAs<TextView>("status")->text().c_str(),
                 draft->text().c_str());
+    obs.report(device);
 }
 
 } // namespace
@@ -100,12 +103,15 @@ int
 main(int argc, char **argv)
 {
     analysis::CheckMode check(argc, argv);
+    examples::ObservabilityFlags obs(argc, argv);
     std::printf("rotating a note-taking app on both systems:\n\n");
-    runOn(RuntimeChangeMode::Restart);
-    runOn(RuntimeChangeMode::RchDroid);
+    runOn(RuntimeChangeMode::Restart, obs);
+    runOn(RuntimeChangeMode::RchDroid, obs);
     std::printf("\nstock Android restarted the activity and lost both the "
                 "label and the id-less\ndraft; RCHDroid migrated them — "
                 "without the app containing a single line of\n"
                 "state-preservation code.\n");
-    return check.finish();
+    const int obs_rc = obs.finish();
+    const int check_rc = check.finish();
+    return check_rc ? check_rc : obs_rc;
 }

@@ -2,6 +2,8 @@
 
 #include "ams/atms.h"
 #include "platform/logging.h"
+#include "platform/metrics.h"
+#include "platform/tracing.h"
 
 namespace rchdroid {
 
@@ -111,6 +113,7 @@ ActivityStarter::setTaskFromIntentActivity(TaskRecord &task,
 {
     const ActivityToken previous_top = task.top();
     ActivityRecord *previous_record = atms_.mutableRecordFor(previous_top);
+    RCH_TRACE_SCOPE_ARG("rch.coinFlip", intent.component, "rch");
 
     // Coin-flip probe: is there a live shadow record for this component
     // in the current task?
@@ -139,7 +142,8 @@ ActivityStarter::setTaskFromIntentActivity(TaskRecord &task,
             previous_record->setState(RecordState::Stopped);
         }
         ++stats_.coin_flips;
-        atms_.emitEvent("atms.coinFlip", intent.component,
+        metrics::add(metrics::Counter::kCoinFlipHit);
+        atms_.emitEvent(kinds::kAtmsCoinFlip, intent.component,
                         static_cast<double>(*shadow_token));
 
         LaunchArgs args;
@@ -169,7 +173,8 @@ ActivityStarter::setTaskFromIntentActivity(TaskRecord &task,
         previous_record->setState(RecordState::Stopped);
     }
     ++stats_.sunny_creates;
-    atms_.emitEvent("atms.sunnyCreate", intent.component,
+    metrics::add(metrics::Counter::kCoinFlipMiss);
+    atms_.emitEvent(kinds::kAtmsSunnyCreate, intent.component,
                     static_cast<double>(record.token()));
 
     LaunchArgs args;

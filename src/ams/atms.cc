@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "platform/logging.h"
+#include "platform/metrics.h"
+#include "platform/tracing.h"
 
 namespace rchdroid {
 
@@ -49,7 +51,7 @@ Atms::componentInfo(const std::string &component) const
 }
 
 void
-Atms::emitEvent(const std::string &kind, const std::string &detail,
+Atms::emitEvent(TelemetryKind kind, const std::string &detail,
                 double value)
 {
     TelemetryEvent event;
@@ -132,7 +134,8 @@ Atms::updateConfiguration(const Configuration &config)
 {
     // Timestamp the arrival: the paper measures handling time from the
     // configuration change arriving at the ATMS.
-    emitEvent("atms.configChange", config.toString());
+    emitEvent(kinds::kAtmsConfigChange, config.toString());
+    metrics::add(metrics::Counter::kConfigChanges);
     looper_.post([this, config] { handleConfigChange(config); }, 0,
                  costs_.config_dispatch, "updateConfiguration");
 }
@@ -176,7 +179,8 @@ Atms::handleConfigChange(const Configuration &config)
                 client->scheduleRelaunchActivity(token, config);
             });
         }
-        emitEvent("atms.relaunch", top->component(),
+        metrics::add(metrics::Counter::kRelaunches);
+        emitEvent(kinds::kAtmsRelaunch, top->component(),
                   static_cast<double>(token));
         return;
     }
@@ -193,7 +197,7 @@ Atms::handleConfigChange(const Configuration &config)
             client->scheduleConfigurationChanged(token, config);
         });
     }
-    emitEvent("atms.shadowHandling", top->component(),
+    emitEvent(kinds::kAtmsShadowHandling, top->component(),
               static_cast<double>(token));
 }
 
@@ -207,7 +211,7 @@ Atms::pressBack()
                 return;
             const ActivityToken token = top->token();
             ActivityClient *client = clientFor(top->process());
-            emitEvent("atms.back", top->component(),
+            emitEvent(kinds::kAtmsBack, top->component(),
                       static_cast<double>(token));
             if (client) {
                 callClient(top->process(), [client, token] {
@@ -232,7 +236,7 @@ Atms::activityResumed(ActivityToken token)
         [this, token] {
             if (ActivityRecord *record = mutableRecordFor(token)) {
                 record->setState(RecordState::Resumed);
-                emitEvent("atms.activityResumed", record->component(),
+                emitEvent(kinds::kAtmsActivityResumed, record->component(),
                           static_cast<double>(token));
             }
         },
@@ -269,7 +273,7 @@ Atms::activityDestroyed(ActivityToken token)
             if (ActivityRecord *record = mutableRecordFor(token)) {
                 if (TaskRecord *task = stack_.taskContaining(token))
                     task->remove(token);
-                emitEvent("atms.activityDestroyed", record->component(),
+                emitEvent(kinds::kAtmsActivityDestroyed, record->component(),
                           static_cast<double>(token));
                 records_.erase(token);
                 // The record revealed beneath (back navigation) resumes.
@@ -299,7 +303,7 @@ Atms::shadowActivityReclaimed(ActivityToken token)
                 return;
             if (TaskRecord *task = stack_.taskContaining(token))
                 task->remove(token);
-            emitEvent("atms.shadowReclaimed", record->component(),
+            emitEvent(kinds::kAtmsShadowReclaimed, record->component(),
                       static_cast<double>(token));
             records_.erase(token);
         },
@@ -311,7 +315,7 @@ Atms::processCrashed(const std::string &process, const std::string &reason)
 {
     looper_.post(
         [this, process, reason] {
-            emitEvent("atms.processCrashed", process + ": " + reason);
+            emitEvent(kinds::kAtmsProcessCrashed, process + ": " + reason);
             if (TaskRecord *task = stack_.taskForProcess(process)) {
                 for (ActivityToken token : task->tokens())
                     records_.erase(token);

@@ -138,7 +138,7 @@ class Atms final : public ActivityManager
     ActivityRecord &createRecord(const std::string &component,
                                  const std::string &process);
     ActivityRecord *mutableRecordFor(ActivityToken token);
-    void emitEvent(const std::string &kind, const std::string &detail,
+    void emitEvent(TelemetryKind kind, const std::string &detail,
                    double value = 0.0);
     ComponentInfo componentInfo(const std::string &component) const;
 

@@ -40,7 +40,7 @@ Activity::chargeCpu(SimDuration cost)
 }
 
 void
-Activity::emitEvent(const std::string &kind, double value)
+Activity::emitEvent(TelemetryKind kind, double value)
 {
     if (!context_.telemetry)
         return;
@@ -126,7 +126,7 @@ Activity::performResume(bool as_sunny)
     if (as_sunny)
         window_.decorView().dispatchSunnyStateChanged(true);
     onResume();
-    emitEvent("activity.resumed");
+    emitEvent(kinds::kActivityResumed);
 }
 
 void
@@ -164,7 +164,7 @@ Activity::performDestroy()
     // the leak and force-closes them (the process survives).
     for (Dialog *dialog : dialogs_) {
         if (dialog->isShowing()) {
-            emitEvent("app.windowLeaked");
+            emitEvent(kinds::kAppWindowLeaked);
             dialog->onOwnerDestroyed();
         }
     }
@@ -172,7 +172,7 @@ Activity::performDestroy()
     window_.decorView().markDestroyed();
     shadow_snapshot_ = Bundle{};
     has_shadow_snapshot_ = false;
-    emitEvent("activity.destroyed");
+    emitEvent(kinds::kActivityDestroyed);
 }
 
 void
@@ -224,7 +224,7 @@ Activity::enterShadowState()
     window_.decorView().dispatchShadowStateChanged(true);
     shadow_entered_at_ =
         context_.ui_looper ? context_.ui_looper->now() : 0;
-    emitEvent("activity.enterShadow");
+    emitEvent(kinds::kActivityEnterShadow);
     return snapshot;
 }
 
@@ -236,7 +236,7 @@ Activity::enterSunnyStateFromShadow()
     window_.decorView().dispatchSunnyStateChanged(true);
     shadow_snapshot_ = Bundle{};
     has_shadow_snapshot_ = false;
-    emitEvent("activity.flipToSunny");
+    emitEvent(kinds::kActivityFlipToSunny);
 }
 
 void

@@ -257,7 +257,7 @@ class Activity : public ViewTreeHost
     void chargeCpu(SimDuration cost);
 
     /** Emit a telemetry event tagged with this component. */
-    void emitEvent(const std::string &kind, double value = 0.0);
+    void emitEvent(TelemetryKind kind, double value = 0.0);
 
   private:
     void transitionTo(LifecycleState next);

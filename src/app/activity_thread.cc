@@ -5,6 +5,8 @@
 
 #include "os/analysis_hooks.h"
 #include "platform/logging.h"
+#include "platform/metrics.h"
+#include "platform/tracing.h"
 
 namespace rchdroid {
 
@@ -49,7 +51,7 @@ ActivityThread::registerActivityFactory(const std::string &component,
 }
 
 void
-ActivityThread::emitEvent(const std::string &kind, const std::string &detail,
+ActivityThread::emitEvent(TelemetryKind kind, const std::string &detail,
                           double value)
 {
     TelemetryEvent event;
@@ -120,8 +122,11 @@ std::shared_ptr<Activity>
 ActivityThread::performLaunchActivity(const LaunchArgs &args,
                                       const Bundle *saved, bool as_sunny)
 {
+    RCH_TRACE_SCOPE_ARG("app.performLaunch", args.component, "app");
     auto activity = createInstance(args.component, args.token);
     activities_[args.token] = activity;
+    metrics::set(metrics::Gauge::kLiveActivities,
+                 static_cast<double>(activities_.size()));
     runAppCode([&] {
         activity->performCreate(args.config, saved);
         activity->performStart();
@@ -139,7 +144,7 @@ ActivityThread::notifyResumedAtCostEnd(ActivityToken token)
     // the in-flight dispatch's accumulated cost window closes — i.e. when
     // the launch work actually finishes on the simulated thread.
     ui_looper_.post([this, token] {
-        emitEvent("app.resumed", params_.process_name,
+        emitEvent(kinds::kAppResumed, params_.process_name,
                   static_cast<double>(token));
         if (am_)
             am_->activityResumed(token);
@@ -326,7 +331,8 @@ ActivityThread::handleCrash(const UiException &e)
     crash_ = info;
     RCH_LOGE("ActivityThread", params_.process_name,
              " FATAL EXCEPTION: ", e.what());
-    emitEvent("app.crash", e.what());
+    metrics::add(metrics::Counter::kAppCrashes);
+    emitEvent(kinds::kAppCrash, e.what());
     // Process death releases everything.
     activities_.clear();
     leaked_.clear();
@@ -358,7 +364,7 @@ void
 ActivityThread::noteAsyncStarted(const std::shared_ptr<AsyncTask> &task)
 {
     in_flight_.push_back(task);
-    emitEvent("app.asyncStarted", task->name());
+    emitEvent(kinds::kAppAsyncStarted, task->name());
 }
 
 void
@@ -367,7 +373,7 @@ ActivityThread::noteAsyncFinished(const std::shared_ptr<AsyncTask> &task)
     in_flight_.erase(
         std::remove(in_flight_.begin(), in_flight_.end(), task),
         in_flight_.end());
-    emitEvent("app.asyncFinished", task->name());
+    emitEvent(kinds::kAppAsyncFinished, task->name());
     // Drop leaked activities no longer pinned by any in-flight task.
     auto still_pinned = [this](const std::shared_ptr<Activity> &activity) {
         for (const auto &t : in_flight_) {

@@ -186,7 +186,7 @@ class ActivityThread final : public ActivityClient
     /** @} */
 
   private:
-    void emitEvent(const std::string &kind, const std::string &detail,
+    void emitEvent(TelemetryKind kind, const std::string &detail,
                    double value = 0.0);
     void handleCrash(const UiException &e);
     std::shared_ptr<Activity> createInstance(const std::string &component,

@@ -5,6 +5,8 @@
 
 #include "os/analysis_hooks.h"
 #include "platform/logging.h"
+#include "platform/metrics.h"
+#include "platform/tracing.h"
 
 namespace rchdroid {
 
@@ -33,6 +35,8 @@ Looper::enqueue(Message msg)
     if (auto *hooks = analysis::hooks())
         hooks->onMessageSend(*this, msg.analysis_id);
     queue_.enqueue(std::move(msg));
+    metrics::observe(metrics::Histogram::kQueueDepth,
+                     static_cast<double>(queue_.size()));
     armWakeup();
 }
 
@@ -116,6 +120,31 @@ Looper::onWakeup()
     setCurrent(this);
     if (auto *hooks = analysis::hooks())
         hooks->onDispatchBegin(*this, msg->analysis_id, current_tag_);
+#if RCHDROID_TRACING
+    // One thread-local load each for the registry and the tracer; the
+    // pointers are reused after the callback so the per-dispatch cost
+    // of disabled instrumentation stays at two loads + two branches.
+    metrics::MetricsRegistry *registry = metrics::MetricsRegistry::current();
+    if (registry) {
+        registry->add(metrics::Counter::kMessagesDispatched);
+        registry->observe(
+            metrics::Histogram::kDispatchLatencyUs,
+            static_cast<double>(current_start_ - msg->when) / 1000.0);
+    }
+    // Mirror the dispatch as a span on this looper's trace lane. The B
+    // lands at the dispatch start; nested TraceScopes inside the
+    // callback stamp themselves with the cost-aware clock, so they nest
+    // inside [start, cost end] with real widths.
+    trace::Tracer *tracer = trace::Tracer::current();
+    std::uint32_t previous_lane = 0;
+    if (tracer) {
+        previous_lane = tracer->currentLane();
+        tracer->setCurrentLane(tracer->laneId(name_));
+        tracer->beginOnAt(tracer->currentLane(), current_start_,
+                          current_tag_.empty() ? "message" : current_tag_,
+                          "dispatch");
+    }
+#endif
 
     msg->callback();
 
@@ -125,6 +154,16 @@ Looper::onWakeup()
     busy_until_ = current_start_ + current_cost_;
     total_busy_ += current_cost_;
     ++dispatched_;
+#if RCHDROID_TRACING
+    if (registry) {
+        registry->observe(metrics::Histogram::kDispatchCostUs,
+                          static_cast<double>(current_cost_) / 1000.0);
+    }
+    if (tracer) {
+        tracer->endOnAt(tracer->currentLane(), busy_until_);
+        tracer->setCurrentLane(previous_lane);
+    }
+#endif
     if (observer_ && current_cost_ > 0) {
         observer_->onBusyInterval(name_, current_start_, busy_until_,
                                   current_tag_);

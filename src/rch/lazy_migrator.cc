@@ -1,6 +1,7 @@
 #include "rch/lazy_migrator.h"
 
 #include "platform/logging.h"
+#include "platform/metrics.h"
 
 namespace rchdroid {
 
@@ -33,12 +34,16 @@ LazyMigrator::onViewInvalidated(Activity &activity, View &view)
             looper->consumeCpu(activity.context().costs.migrate_batch_base);
             last_dispatch_seq_ = dispatch_seq;
             seen_dispatch_ = true;
+            metrics::add(metrics::Counter::kMigrateBatches);
         }
         looper->consumeCpu(activity.context().costs.migrate_per_view);
     }
     view.applyMigration(*peer);
     ++migrated_;
     ++stats_.views_migrated;
+    // Which view types the lazy policy actually touches (Table 1 is
+    // priced per typed attribute set, so the type mix matters).
+    metrics::addLabeled(metrics::Counter::kViewsMigrated, view.typeName());
     migrating_ = false;
 }
 

@@ -4,6 +4,8 @@
 
 #include "os/analysis_hooks.h"
 #include "platform/logging.h"
+#include "platform/metrics.h"
+#include "platform/tracing.h"
 
 namespace rchdroid {
 
@@ -66,6 +68,7 @@ RchClientHandler::onConfigurationChanged(ActivityThread &thread,
         return;
     }
     ++stats_.runtime_changes;
+    RCH_TRACE_SCOPE_ARG("rch.shadowDemotion", activity->component(), "rch");
 
     // Detach any stale listener before the snapshot; the instance keeps
     // serving async callbacks in the shadow state, where the migrator
@@ -75,6 +78,7 @@ RchClientHandler::onConfigurationChanged(ActivityThread &thread,
     // Step 1 (Fig. 3): snapshot state and enter the shadow state.
     thread.runAppCode([&] { activity->enterShadowState(); });
     gc_policy_.noteShadowEntered(thread.scheduler().now());
+    metrics::add(metrics::Counter::kShadowEntered);
     activity->setInvalidationListener(&migrator_);
     armGcTimer(thread);
 
@@ -116,14 +120,22 @@ RchClientHandler::performInitLaunch(ActivityThread &thread,
     const Bundle *saved =
         (shadow && shadow->hasShadowSnapshot()) ? &shadow->shadowSnapshot()
                                                 : nullptr;
+    RCH_TRACE_SCOPE_ARG("rch.initLaunch", args.component, "rch");
     auto sunny = thread.performLaunchActivity(args, saved, /*as_sunny=*/true);
     ++stats_.init_launches;
 
     if (shadow) {
+        RCH_TRACE_SCOPE("rch.buildMapping", "rch");
         const MappingResult mapping = mapper_.buildMapping(*sunny, *shadow);
         stats_.views_mapped += static_cast<std::uint64_t>(mapping.wired);
         stats_.views_unmatched +=
             static_cast<std::uint64_t>(std::max(mapping.unmatched, 0));
+        metrics::add(metrics::Counter::kMapWired,
+                     static_cast<std::uint64_t>(mapping.wired));
+        metrics::add(metrics::Counter::kMapUnmatched,
+                     static_cast<std::uint64_t>(std::max(mapping.unmatched, 0)));
+        metrics::observe(metrics::Histogram::kMappedViewsPerBuild,
+                         static_cast<double>(mapping.wired));
         shadow->setInvalidationListener(&migrator_);
     }
     thread.notifyResumedAtCostEnd(args.token);
@@ -138,6 +150,7 @@ RchClientHandler::performFlip(ActivityThread &thread, const LaunchArgs &args)
                "flip target is not a shadow instance");
     RCH_ASSERT(outgoing, "flip source instance missing");
     ++stats_.flips;
+    RCH_TRACE_SCOPE_ARG("rch.flipSync", incoming->component(), "rch");
     // The flip is a full synchronisation point between the instances:
     // everything the displaced foreground did is ordered before anything
     // the incoming instance does from here on.
@@ -204,13 +217,20 @@ RchClientHandler::doGcForShadowIfNeeded(ActivityThread &thread)
     auto shadow = thread.shadowActivity();
     if (!shadow)
         return false;
+    RCH_TRACE_SCOPE_ARG("rch.gcCheck", shadow->component(), "rch");
     const SimTime now = thread.scheduler().now();
-    if (!gc_policy_.shouldCollect(now, shadow->shadowEnteredAt())) {
+    const GcDecision decision =
+        gc_policy_.decide(now, shadow->shadowEnteredAt());
+    if (decision != GcDecision::Collect) {
         ++stats_.gc_keeps;
+        metrics::add(decision == GcDecision::KeepYoung
+                         ? metrics::Counter::kGcKeptYoung
+                         : metrics::Counter::kGcKeptFrequent);
         return false;
     }
     releaseShadow(thread, shadow);
     ++stats_.gc_collections;
+    metrics::add(metrics::Counter::kGcCollected);
     return true;
 }
 

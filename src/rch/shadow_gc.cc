@@ -29,15 +29,26 @@ ShadowGcPolicy::shadowFrequency(SimTime now)
     return static_cast<int>(entries_.size());
 }
 
-bool
-ShadowGcPolicy::shouldCollect(SimTime now, SimTime shadow_entered_at)
+GcDecision
+ShadowGcPolicy::decide(SimTime now, SimTime shadow_entered_at)
 {
     const SimDuration shadow_time = now - shadow_entered_at;
     if (shadow_time <= config_.thresh_t)
-        return false;
+        return GcDecision::KeepYoung;
     if (shadowFrequency(now) >= config_.thresh_f)
-        return false;
-    return true;
+        return GcDecision::KeepFrequent;
+    return GcDecision::Collect;
+}
+
+const char *
+gcDecisionName(GcDecision decision)
+{
+    switch (decision) {
+      case GcDecision::Collect: return "collect";
+      case GcDecision::KeepYoung: return "keep_young";
+      case GcDecision::KeepFrequent: return "keep_frequent";
+    }
+    return "unknown";
 }
 
 } // namespace rchdroid

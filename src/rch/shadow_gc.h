@@ -19,6 +19,15 @@
 
 namespace rchdroid {
 
+/** Outcome of one Algorithm 1 evaluation, with the keep reason. */
+enum class GcDecision {
+    Collect,      ///< both thresholds passed; reclaim the shadow
+    KeepYoung,    ///< shadow_time <= THRESH_T
+    KeepFrequent, ///< shadow_frequency >= THRESH_F
+};
+
+const char *gcDecisionName(GcDecision decision);
+
 /**
  * Pure decision logic; the handler owns the timer and the destruction.
  */
@@ -36,7 +45,13 @@ class ShadowGcPolicy
      * @param shadow_entered_at When the instance entered the shadow
      *        state.
      */
-    bool shouldCollect(SimTime now, SimTime shadow_entered_at);
+    bool shouldCollect(SimTime now, SimTime shadow_entered_at)
+    {
+        return decide(now, shadow_entered_at) == GcDecision::Collect;
+    }
+
+    /** shouldCollect with the keep reason preserved (for metrics). */
+    GcDecision decide(SimTime now, SimTime shadow_entered_at);
 
     /** shadow_frequency: entries within the trailing window at `now`. */
     int shadowFrequency(SimTime now);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "platform/logging.h"
+#include "platform/tracing.h"
 
 namespace rchdroid::sim {
 
@@ -92,6 +93,23 @@ AndroidSystem::AndroidSystem(SystemOptions options)
         if (analysis_guard_->installed())
             analysis_guard_->analyzer().sink().setTelemetry(&trace_);
     }
+#if RCHDROID_TRACING
+    // One trace "process" per system: sequential systems in a binary
+    // restart sim time at zero, and separate pids keep every lane's
+    // timestamps monotonic. The clock is cost-aware — inside a Looper
+    // dispatch "now" is the message's accumulated-cost end — so nested
+    // spans get real widths even though sim time freezes in callbacks.
+    if (trace::Tracer *tracer = trace::Tracer::current()) {
+        tracer->beginProcess(std::string("device[") +
+                             runtimeChangeModeName(options_.mode) + "]");
+        tracer->setClock([this] {
+            Looper *looper = Looper::current();
+            if (looper && looper->isDispatching())
+                return looper->currentCostEnd();
+            return scheduler_.now();
+        });
+    }
+#endif
     atms_ = std::make_unique<Atms>(scheduler_, options_.device.atms,
                                    options_.device.binder, &trace_);
     atms_->setMode(options_.mode);
@@ -100,7 +118,15 @@ AndroidSystem::AndroidSystem(SystemOptions options)
         atms_->looper().setBusyObserver(&cpu_);
 }
 
-AndroidSystem::~AndroidSystem() = default;
+AndroidSystem::~AndroidSystem()
+{
+#if RCHDROID_TRACING
+    // The installed clock closure reads this system's scheduler; it must
+    // not outlive us.
+    if (trace::Tracer *tracer = trace::Tracer::current())
+        tracer->clearClock();
+#endif
+}
 
 analysis::Analyzer *
 AndroidSystem::analyzer()
@@ -205,11 +231,11 @@ AndroidSystem::launchProcess(const std::string &process)
     intent.source_process = app.process;
     intent.flags = kFlagNewTask;
     const std::size_t resumed_before =
-        trace_.countOfKind("atms.activityResumed");
+        trace_.countOfKind(kinds::kAtmsActivityResumed);
     app.am_proxy->startActivity(intent);
     const bool ok = runUntil(
         [this, resumed_before] {
-            return trace_.countOfKind("atms.activityResumed") >
+            return trace_.countOfKind(kinds::kAtmsActivityResumed) >
                    resumed_before;
         },
         seconds(30));
@@ -372,17 +398,17 @@ bool
 AndroidSystem::waitHandlingComplete(SimDuration timeout)
 {
     const std::size_t resumed_before =
-        trace_.countOfKind("atms.activityResumed");
-    const std::size_t crashes_before = trace_.countOfKind("app.crash");
+        trace_.countOfKind(kinds::kAtmsActivityResumed);
+    const std::size_t crashes_before = trace_.countOfKind(kinds::kAppCrash);
     const bool done = runUntil(
         [this, resumed_before, crashes_before] {
-            return trace_.countOfKind("atms.activityResumed") >
+            return trace_.countOfKind(kinds::kAtmsActivityResumed) >
                        resumed_before ||
-                   trace_.countOfKind("app.crash") > crashes_before;
+                   trace_.countOfKind(kinds::kAppCrash) > crashes_before;
         },
         timeout);
     return done &&
-           trace_.countOfKind("atms.activityResumed") > resumed_before;
+           trace_.countOfKind(kinds::kAtmsActivityResumed) > resumed_before;
 }
 
 std::size_t

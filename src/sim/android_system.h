@@ -150,6 +150,12 @@ class AndroidSystem
     /** Foreground activity of a custom app; null when gone/crashed. */
     std::shared_ptr<Activity>
     foregroundActivityOf(const std::string &process);
+    /** Installed app processes keyed by process name (introspection). */
+    const std::map<std::string, std::unique_ptr<InstalledApp>> &
+    installedApps() const
+    {
+        return apps_;
+    }
     /**
      * Register an additional component of an installed app (a second
      * screen reachable via Activity::startActivity).

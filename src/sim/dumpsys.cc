@@ -1,0 +1,146 @@
+#include "sim/dumpsys.h"
+
+#include <sstream>
+
+#include "platform/strings.h"
+
+namespace rchdroid::sim {
+
+namespace {
+
+const char *
+recordStateName(RecordState state)
+{
+    switch (state) {
+      case RecordState::Launching: return "Launching";
+      case RecordState::Resumed: return "Resumed";
+      case RecordState::Paused: return "Paused";
+      case RecordState::Stopped: return "Stopped";
+      case RecordState::Destroyed: return "Destroyed";
+    }
+    return "Unknown";
+}
+
+/** Sample the point-in-time gauges from the live system. */
+void
+sampleGauges(AndroidSystem &system, metrics::MetricsRegistry *registry)
+{
+    if (!registry)
+        return;
+    std::size_t activities = 0;
+    std::size_t heap = 0;
+    std::size_t pending = system.atms().looper().queuedMessages();
+    for (const auto &[process, app] : system.installedApps()) {
+        (void)process;
+        activities += app->thread->liveActivityCount();
+        heap += app->thread->totalHeapBytes();
+        pending += app->thread->uiLooper().queuedMessages();
+    }
+    registry->set(metrics::Gauge::kLiveActivities,
+                  static_cast<double>(activities));
+    registry->set(metrics::Gauge::kHeapBytes, static_cast<double>(heap));
+    registry->set(metrics::Gauge::kPendingMessages,
+                  static_cast<double>(pending));
+}
+
+} // namespace
+
+std::string
+dumpsys(AndroidSystem &system, metrics::MetricsRegistry *registry)
+{
+    sampleGauges(system, registry);
+
+    std::ostringstream os;
+    Atms &atms = system.atms();
+    os << "== dumpsys ==\n";
+    os << "mode: " << runtimeChangeModeName(atms.mode())
+       << "  sim time: " << formatDouble(toMillisF(system.scheduler().now()), 3)
+       << " ms  config: " << atms.currentConfiguration().toString() << '\n';
+
+    os << "\nACTIVITY MANAGER (tasks bottom -> top, records bottom -> top):\n";
+    const ActivityStack &stack = atms.stack();
+    if (stack.taskCount() == 0)
+        os << "  (no tasks)\n";
+    for (const auto &task : stack.tasks()) {
+        os << "  Task #" << task->id() << " [" << task->process()
+           << "] depth=" << task->depth() << '\n';
+        for (ActivityToken token : task->tokens()) {
+            const ActivityRecord *record = atms.recordFor(token);
+            if (!record) {
+                os << "    #" << token << " <record missing>\n";
+                continue;
+            }
+            os << "    #" << token << ' ' << record->component()
+               << " state=" << recordStateName(record->state());
+            if (record->isShadow()) {
+                os << " SHADOW age="
+                   << formatDouble(toMillisF(system.scheduler().now() -
+                                             record->shadowSince()),
+                                   1)
+                   << "ms";
+            }
+            os << '\n';
+        }
+    }
+    const StarterStats &starter = atms.starterStats();
+    os << "  starter: normal_starts=" << starter.normal_starts
+       << " sunny_creates=" << starter.sunny_creates
+       << " coin_flips=" << starter.coin_flips
+       << " suppressed_same_top=" << starter.suppressed_same_top << '\n';
+    os << "  atms looper: queued=" << atms.looper().queuedMessages()
+       << " dispatched=" << atms.looper().dispatchedMessages() << " busy="
+       << formatDouble(toMillisF(atms.looper().totalBusyTime()), 3) << "ms\n";
+
+    os << "\nPROCESSES:\n";
+    if (system.installedApps().empty())
+        os << "  (no apps installed)\n";
+    for (const auto &[process, app] : system.installedApps()) {
+        ActivityThread &thread = *app->thread;
+        os << "  " << process << ": activities="
+           << thread.liveActivityCount() << " heap="
+           << formatDouble(static_cast<double>(thread.totalHeapBytes()) /
+                               (1024.0 * 1024.0),
+                           2)
+           << "MB crashed=" << (thread.crashed() ? "yes" : "no") << '\n';
+        Looper &ui = thread.uiLooper();
+        os << "    ui looper: queued=" << ui.queuedMessages()
+           << " dispatched=" << ui.dispatchedMessages() << " busy="
+           << formatDouble(toMillisF(ui.totalBusyTime()), 3) << "ms\n";
+        if (app->handler) {
+            const RchStats &rch = app->handler->stats();
+            os << "    rch: runtime_changes=" << rch.runtime_changes
+               << " init_launches=" << rch.init_launches
+               << " flips=" << rch.flips
+               << " views_mapped=" << rch.views_mapped
+               << " views_unmatched=" << rch.views_unmatched
+               << " views_migrated=" << rch.views_migrated
+               << " gc_keeps=" << rch.gc_keeps
+               << " gc_collections=" << rch.gc_collections << '\n';
+        }
+    }
+
+    os << "\nHANDLING EPISODES: " << system.trace().handlingEpisodes().size()
+       << " (last completed: ";
+    const double last = system.trace().lastHandlingMs();
+    if (last < 0)
+        os << "none";
+    else
+        os << formatDouble(last, 3) << " ms";
+    os << ")\n";
+
+    if (registry) {
+        os << "\nMETRICS:\n" << registry->toText();
+    } else {
+        os << "\nMETRICS: (no registry installed)\n";
+    }
+    return os.str();
+}
+
+std::string
+metricsJson(AndroidSystem &system, metrics::MetricsRegistry *registry)
+{
+    sampleGauges(system, registry);
+    return registry ? registry->toJson() : std::string("{}\n");
+}
+
+} // namespace rchdroid::sim

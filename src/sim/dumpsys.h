@@ -1,0 +1,38 @@
+/**
+ * @file
+ * dumpsys: the simulator's `adb shell dumpsys activity` — a pretty
+ * printed snapshot of the system's introspectable state (task stack and
+ * shadow records, per-process RCH counters, looper health) plus the
+ * installed MetricsRegistry, with a machine-readable JSON twin the bench
+ * binaries embed in their BENCH_*.json output.
+ */
+#ifndef RCHDROID_SIM_DUMPSYS_H
+#define RCHDROID_SIM_DUMPSYS_H
+
+#include <string>
+
+#include "platform/metrics.h"
+#include "sim/android_system.h"
+
+namespace rchdroid::sim {
+
+/**
+ * Pretty-print the system state dumpsys-style. Samples the point-in-time
+ * gauges (live activities, heap, pending messages) into `registry`
+ * before rendering it; pass null to dump the system sections only.
+ */
+std::string dumpsys(AndroidSystem &system,
+                    metrics::MetricsRegistry *registry =
+                        metrics::MetricsRegistry::current());
+
+/**
+ * The machine-readable twin: the registry's JSON with the same gauge
+ * sampling applied. "{}\n" when no registry is installed.
+ */
+std::string metricsJson(AndroidSystem &system,
+                        metrics::MetricsRegistry *registry =
+                            metrics::MetricsRegistry::current());
+
+} // namespace rchdroid::sim
+
+#endif // RCHDROID_SIM_DUMPSYS_H

@@ -3,25 +3,68 @@
 #include <fstream>
 #include <sstream>
 
+#include "platform/metrics.h"
 #include "platform/strings.h"
+#include "platform/tracing.h"
 
 namespace rchdroid::sim {
 
 void
 TraceRecorder::record(const TelemetryEvent &event)
 {
-    ++counts_[event.kind];
-    if (event.kind == "atms.configChange") {
-        episodes_.push_back(HandlingEpisode{event.time, std::nullopt});
-    } else if (event.kind == "atms.activityResumed") {
-        if (!episodes_.empty() && !episodes_.back().end)
-            episodes_.back().end = event.time;
+    const std::uint32_t id = event.kind.id();
+    if (id >= counts_.size())
+        counts_.resize(id + 1, 0);
+    ++counts_[id];
+
+#if RCHDROID_TRACING
+    trace::Tracer *tracer = trace::Tracer::current();
+    // Instants use the cost-aware clock so they sit inside whatever
+    // span is currently open on the lane; the async episode endpoints
+    // below use the event's semantic time instead.
+    if (tracer)
+        tracer->instant(event.kind.str(), event.detail);
+#endif
+
+    if (event.kind == kinds::kAtmsConfigChange) {
+        if (!episodes_.empty() && !episodes_.back().end &&
+            !episodes_.back().aborted) {
+            // The previous handling never reached its resume: close it
+            // as incomplete so this change's episode cannot steal the
+            // eventual resume event (the mis-pairing bug).
+            episodes_.back().aborted = true;
+            metrics::add(metrics::Counter::kEpisodesAborted);
+#if RCHDROID_TRACING
+            if (tracer)
+                tracer->asyncEnd("episode", episodes_.size() - 1, event.time,
+                                 "aborted");
+#endif
+        }
+        episodes_.push_back(HandlingEpisode{event.time, std::nullopt, false});
+#if RCHDROID_TRACING
+        if (tracer)
+            tracer->asyncBegin("episode", episodes_.size() - 1, "rch.episode",
+                               event.time, event.detail);
+#endif
+    } else if (event.kind == kinds::kAtmsActivityResumed) {
+        if (!episodes_.empty() && !episodes_.back().end &&
+            !episodes_.back().aborted) {
+            HandlingEpisode &episode = episodes_.back();
+            episode.end = event.time;
+            metrics::add(metrics::Counter::kEpisodesCompleted);
+            metrics::observe(metrics::Histogram::kHandlingMs,
+                             episode.durationMs());
+#if RCHDROID_TRACING
+            if (tracer)
+                tracer->asyncEnd("episode", episodes_.size() - 1, event.time);
+#endif
+        }
     }
     events_.push_back(event);
 }
 
 std::vector<TelemetryEvent>
-TraceRecorder::eventsOfKind(const std::string &kind) const
+TraceRecorder::eventsOfKind(TelemetryKind kind) const
 {
     std::vector<TelemetryEvent> out;
     for (const auto &event : events_) {
@@ -32,14 +75,14 @@ TraceRecorder::eventsOfKind(const std::string &kind) const
 }
 
 std::size_t
-TraceRecorder::countOfKind(const std::string &kind) const
+TraceRecorder::countOfKind(TelemetryKind kind) const
 {
-    const auto it = counts_.find(kind);
-    return it == counts_.end() ? 0 : it->second;
+    const std::uint32_t id = kind.id();
+    return id < counts_.size() ? counts_[id] : 0;
 }
 
 std::optional<TelemetryEvent>
-TraceRecorder::lastOfKind(const std::string &kind) const
+TraceRecorder::lastOfKind(TelemetryKind kind) const
 {
     for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
         if (it->kind == kind)
@@ -63,7 +106,7 @@ TraceRecorder::toCsv() const
             quoted += c;
         }
         quoted += '"';
-        os << formatDouble(toMillisF(event.time), 3) << ',' << event.kind
+        os << formatDouble(toMillisF(event.time), 3) << ',' << event.kindName()
            << ',' << quoted << ',' << formatDouble(event.value, 3) << '\n';
     }
     return os.str();

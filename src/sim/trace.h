@@ -9,9 +9,9 @@
 #ifndef RCHDROID_SIM_TRACE_H
 #define RCHDROID_SIM_TRACE_H
 
+#include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "platform/telemetry.h"
@@ -25,6 +25,13 @@ struct HandlingEpisode
     SimTime start = 0;
     /** The matching atms.activityResumed, if handling completed. */
     std::optional<SimTime> end;
+    /**
+     * True when the next configuration change arrived before this
+     * episode's resume: the handling was cut short (the relaunch or flip
+     * restarted under the newer configuration), so the episode closes
+     * incomplete instead of stealing the eventual resume event.
+     */
+    bool aborted = false;
 
     bool completed() const { return end.has_value(); }
     double
@@ -40,7 +47,13 @@ struct HandlingEpisode
  * Per-kind counts and handling episodes are maintained incrementally in
  * record(): harness predicates poll countOfKind()/lastHandlingMs() after
  * every scheduler step, so deriving them by rescanning the event log
- * made long-lived systems quadratic in their own history.
+ * made long-lived systems quadratic in their own history. Counts are
+ * indexed by the interned kind id — no string hashing on the hot path.
+ *
+ * When a trace::Tracer is installed on the thread, record() mirrors the
+ * stream into it: an instant marker per event plus an async "episode"
+ * span from each configChange to its resume (or abort), which is how a
+ * rotation shows up as one bar across Looper lanes in Perfetto.
  */
 class TraceRecorder final : public TelemetrySink
 {
@@ -57,15 +70,15 @@ class TraceRecorder final : public TelemetrySink
     }
 
     /** Events whose kind matches exactly. */
-    std::vector<TelemetryEvent> eventsOfKind(const std::string &kind) const;
-    std::size_t countOfKind(const std::string &kind) const;
+    std::vector<TelemetryEvent> eventsOfKind(TelemetryKind kind) const;
+    std::size_t countOfKind(TelemetryKind kind) const;
     /** Last event of a kind, if any. */
-    std::optional<TelemetryEvent> lastOfKind(const std::string &kind) const;
+    std::optional<TelemetryEvent> lastOfKind(TelemetryKind kind) const;
 
     /**
      * Each atms.configChange paired with the first atms.activityResumed
-     * after it (and before the next change). Crashed handlings stay
-     * open (no end).
+     * after it. Episodes overtaken by the next change are marked
+     * aborted; crashed handlings stay open (no end, not aborted).
      */
     const std::vector<HandlingEpisode> &handlingEpisodes() const
     {
@@ -76,7 +89,7 @@ class TraceRecorder final : public TelemetrySink
     double lastHandlingMs() const;
 
     /** True when an app.crash event was recorded. */
-    bool sawCrash() const { return countOfKind("app.crash") > 0; }
+    bool sawCrash() const { return countOfKind(kinds::kAppCrash) > 0; }
 
     /**
      * Serialise the event log as CSV (`time_ms,kind,detail,value`) for
@@ -89,8 +102,8 @@ class TraceRecorder final : public TelemetrySink
 
   private:
     std::vector<TelemetryEvent> events_;
-    /** Incremental per-kind tallies backing countOfKind(). */
-    std::unordered_map<std::string, std::size_t> counts_;
+    /** Incremental tallies backing countOfKind(), indexed by kind id. */
+    std::vector<std::size_t> counts_;
     /** Incrementally paired episodes backing handlingEpisodes(). */
     std::vector<HandlingEpisode> episodes_;
 };

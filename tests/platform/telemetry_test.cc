@@ -20,6 +20,40 @@ TEST(Telemetry, NullSinkSwallowsEverything)
     EXPECT_EQ(&NullTelemetrySink::instance(), &sink);
 }
 
+TEST(Telemetry, WellKnownKindsInternToTheirConstants)
+{
+    // The constexpr constants must agree with the intern table's seed
+    // order, or switch-on-id dispatch would silently misroute events.
+    EXPECT_EQ(TelemetryKind("atms.configChange"), kinds::kAtmsConfigChange);
+    EXPECT_EQ(TelemetryKind("atms.activityResumed"),
+              kinds::kAtmsActivityResumed);
+    EXPECT_EQ(TelemetryKind("atms.relaunch"), kinds::kAtmsRelaunch);
+    EXPECT_EQ(TelemetryKind("app.crash"), kinds::kAppCrash);
+    EXPECT_EQ(kinds::kAtmsConfigChange.str(), "atms.configChange");
+    EXPECT_EQ(kinds::kAppCrash.str(), "app.crash");
+}
+
+TEST(Telemetry, DynamicKindsInternStably)
+{
+    const TelemetryKind first("test.dynamic.kind");
+    const TelemetryKind second(std::string("test.dynamic.kind"));
+    const TelemetryKind other("test.other.kind");
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first.id(), second.id());
+    EXPECT_NE(first, other);
+    EXPECT_GE(first.id(), kinds::kFirstDynamicId);
+    EXPECT_EQ(first.str(), "test.dynamic.kind");
+    // Default construction is the reserved "none" kind.
+    EXPECT_EQ(TelemetryKind(), kinds::kNone);
+}
+
+TEST(Telemetry, EventKindNameMatchesInternTable)
+{
+    TelemetryEvent event;
+    event.kind = kinds::kAtmsShadowHandling;
+    EXPECT_EQ(event.kindName(), "atms.shadowHandling");
+}
+
 TEST(Telemetry, CustomSinkReceivesEvents)
 {
     class Collecting final : public TelemetrySink

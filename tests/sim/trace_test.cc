@@ -49,6 +49,44 @@ TEST(TraceRecorder, PairsEpisodes)
     EXPECT_DOUBLE_EQ(trace.lastHandlingMs(), 90.0);
 }
 
+TEST(TraceRecorder, BackToBackChangesAbortTheOvertakenEpisode)
+{
+    // Regression: a second configChange arriving before the first
+    // episode's resume used to leave the first episode open, so the
+    // eventual resume closed it with a wildly inflated duration while
+    // the real (second) episode never completed.
+    TraceRecorder trace;
+    trace.record(event(milliseconds(10), "atms.configChange"));
+    trace.record(event(milliseconds(40), "atms.configChange"));
+    trace.record(event(milliseconds(130), "atms.activityResumed"));
+
+    const auto episodes = trace.handlingEpisodes();
+    ASSERT_EQ(episodes.size(), 2u);
+    EXPECT_TRUE(episodes[0].aborted);
+    EXPECT_FALSE(episodes[0].completed());
+    EXPECT_DOUBLE_EQ(episodes[0].durationMs(), -1.0);
+    EXPECT_FALSE(episodes[1].aborted);
+    ASSERT_TRUE(episodes[1].completed());
+    // The resume pairs with the *second* change: 130 - 40, not 130 - 10.
+    EXPECT_DOUBLE_EQ(episodes[1].durationMs(), 90.0);
+    EXPECT_DOUBLE_EQ(trace.lastHandlingMs(), 90.0);
+}
+
+TEST(TraceRecorder, AbortedEpisodeDoesNotResumeTwice)
+{
+    TraceRecorder trace;
+    trace.record(event(milliseconds(0), "atms.configChange"));
+    trace.record(event(milliseconds(30), "atms.configChange"));
+    trace.record(event(milliseconds(90), "atms.activityResumed"));
+    trace.record(event(milliseconds(95), "atms.activityResumed")); // launch
+    const auto episodes = trace.handlingEpisodes();
+    ASSERT_EQ(episodes.size(), 2u);
+    // The stray resume must not reopen or re-close the aborted episode.
+    EXPECT_TRUE(episodes[0].aborted);
+    EXPECT_FALSE(episodes[0].completed());
+    EXPECT_DOUBLE_EQ(episodes[1].durationMs(), 60.0);
+}
+
 TEST(TraceRecorder, CrashLeavesEpisodeOpen)
 {
     TraceRecorder trace;

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON produced by --trace-out.
+
+Checks, per (pid, tid) lane in array order:
+  - every E closes a matching B (a simple stack suffices because the
+    tracer emits B/E pairs, not X complete events);
+  - timestamps of B/E events are non-decreasing (instant events use the
+    cost-aware clock mid-dispatch and are exempt);
+and globally:
+  - async b/e events pair up by (cat, id) with begin before end;
+  - metadata names every (pid, tid) that carries events.
+
+Usage:
+  check_trace.py TRACE.json [--require-episodes]
+
+--require-episodes additionally demands at least one completed
+"episode" async span (a rotation that ran to activityResumed).
+Exit status is non-zero on any violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check(trace, require_episodes=False):
+    errors = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+
+    named_lanes = set()
+    named_pids = set()
+    stacks = {}      # (pid, tid) -> [name, ...] of open B spans
+    last_ts = {}     # (pid, tid) -> ts of the previous B/E event
+    async_open = {}  # (cat, id) -> name
+    episodes_done = 0
+
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        where = f"event[{index}] ({event.get('name', '?')})"
+        if phase == "M":
+            if event.get("name") == "process_name":
+                named_pids.add(event.get("pid"))
+            elif event.get("name") == "thread_name":
+                named_lanes.add((event.get("pid"), event.get("tid")))
+            continue
+
+        lane = (event.get("pid"), event.get("tid"))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(errors, f"{where}: non-numeric ts {ts!r}")
+            continue
+
+        if phase in ("B", "E"):
+            previous = last_ts.get(lane)
+            if previous is not None and ts < previous:
+                fail(errors,
+                     f"{where}: ts {ts} < previous {previous} on lane "
+                     f"pid={lane[0]} tid={lane[1]}")
+            last_ts[lane] = ts
+
+        if phase == "B":
+            stacks.setdefault(lane, []).append(event.get("name", ""))
+        elif phase == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                fail(errors, f"{where}: E with no open B on lane {lane}")
+            else:
+                stack.pop()
+        elif phase == "b":
+            key = (event.get("cat"), event.get("id"))
+            if key in async_open:
+                fail(errors, f"{where}: async begin {key} already open")
+            async_open[key] = event.get("name", "")
+        elif phase == "e":
+            key = (event.get("cat"), event.get("id"))
+            if key not in async_open:
+                fail(errors, f"{where}: async end {key} with no begin")
+            else:
+                del async_open[key]
+                if event.get("cat") == "episode":
+                    episodes_done += 1
+        elif phase == "i":
+            pass  # cost-aware clock; exempt from lane monotonicity
+        else:
+            fail(errors, f"{where}: unknown phase {phase!r}")
+
+        if phase != "M" and lane not in named_lanes:
+            fail(errors, f"{where}: lane {lane} has no thread_name metadata")
+            named_lanes.add(lane)  # report each lane once
+
+    for lane, stack in stacks.items():
+        if stack:
+            fail(errors, f"lane {lane}: {len(stack)} unclosed B span(s), "
+                         f"innermost '{stack[-1]}'")
+    for key, name in async_open.items():
+        fail(errors, f"async span {key} ('{name}') never ended")
+    if require_episodes and episodes_done == 0:
+        fail(errors, "no completed 'episode' async span found")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require-episodes", action="store_true",
+                        help="require >= 1 completed episode async span")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_trace: {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    errors = check(trace, require_episodes=args.require_episodes)
+    if errors:
+        for error in errors:
+            print(f"check_trace: {error}", file=sys.stderr)
+        print(f"check_trace: FAIL ({len(errors)} problem(s)) in {args.trace}",
+              file=sys.stderr)
+        return 1
+
+    events = trace["traceEvents"]
+    real = sum(1 for e in events if e.get("ph") != "M")
+    print(f"check_trace: OK — {real} events "
+          f"({len(events) - real} metadata) in {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,8 +30,13 @@
  *   handling                     print the last handling time
  *   heap                         print the app heap (MB)
  *   stats                        print RCHDroid + starter counters
+ *   dumpsys                      print the dumpsys state snapshot
+ *   metrics-json <path>          write the metrics registry as JSON
  *   trace-csv <path>             dump the telemetry log as CSV
  *   quit                         exit
+ *
+ * With --trace-out=FILE the whole session is recorded as a Chrome
+ * trace-event JSON (open in Perfetto / chrome://tracing).
  */
 #include <cstdio>
 #include <fstream>
@@ -42,7 +47,10 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "platform/metrics.h"
+#include "platform/tracing.h"
 #include "sim/android_system.h"
+#include "sim/dumpsys.h"
 
 namespace rchdroid::tools {
 namespace {
@@ -222,6 +230,18 @@ execute(ShellState &state, const std::string &line)
             std::printf("app CRASHED: %s\n",
                         device.threadFor(*spec).crashInfo()->reason.c_str());
         }
+    } else if (command == "dumpsys") {
+        std::fputs(sim::dumpsys(device).c_str(), stdout);
+    } else if (command == "metrics-json") {
+        std::string path;
+        args >> path;
+        std::ofstream out(path);
+        if (!out) {
+            std::printf("error: cannot write %s\n", path.c_str());
+            return false;
+        }
+        out << sim::metricsJson(device);
+        std::printf("metrics written to %s\n", path.c_str());
     } else if (command == "trace-csv") {
         std::string path;
         args >> path;
@@ -261,6 +281,29 @@ int
 main(int argc, char **argv)
 {
     rchdroid::analysis::CheckMode check(argc, argv);
+
+    // Strip --trace-out=FILE before the script-path argument is read.
+    std::string trace_path;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_path = arg.substr(std::string("--trace-out=").size());
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+
+    rchdroid::metrics::MetricsRegistry registry;
+    rchdroid::metrics::ScopedMetricsRegistry registry_guard(&registry);
+    std::unique_ptr<rchdroid::trace::Tracer> tracer;
+    std::optional<rchdroid::trace::ScopedTracer> tracer_guard;
+    if (!trace_path.empty()) {
+        tracer = std::make_unique<rchdroid::trace::Tracer>();
+        tracer_guard.emplace(tracer.get());
+    }
+
     int status;
     if (argc > 1) {
         std::ifstream file(argv[1]);
@@ -271,6 +314,18 @@ main(int argc, char **argv)
         status = rchdroid::tools::runShell(file);
     } else {
         status = rchdroid::tools::runShell(std::cin);
+    }
+
+    if (tracer) {
+        if (tracer->writeChromeJson(trace_path)) {
+            std::printf("trace written to %s (%zu events)\n",
+                        trace_path.c_str(), tracer->eventCount());
+        } else {
+            std::fprintf(stderr, "failed to write trace to %s\n",
+                         trace_path.c_str());
+            if (status == 0)
+                status = 1;
+        }
     }
     const int check_status = check.finish();
     return status != 0 ? status : check_status;
