@@ -112,6 +112,12 @@ class ActivityThread final : public ActivityClient
     /** The activity currently in the Shadow state, if any. */
     std::shared_ptr<Activity> shadowActivity();
     std::size_t liveActivityCount() const { return activities_.size(); }
+    /** Live instances keyed by token (model-checker fingerprints). */
+    const std::map<ActivityToken, std::shared_ptr<Activity>> &
+    activities() const
+    {
+        return activities_;
+    }
     /** Remove `token` from the registry without lifecycle side effects
      *  (used by handlers that already drove the lifecycle). */
     void dropActivity(ActivityToken token);
@@ -170,6 +176,11 @@ class ActivityThread final : public ActivityClient
     void noteAsyncStarted(const std::shared_ptr<AsyncTask> &task);
     void noteAsyncFinished(const std::shared_ptr<AsyncTask> &task);
     std::size_t inFlightAsyncTasks() const { return in_flight_.size(); }
+    /** The in-flight tasks themselves (model-checker oracles). */
+    const std::vector<std::shared_ptr<AsyncTask>> &inFlightAsyncList() const
+    {
+        return in_flight_;
+    }
     /** @} */
 
     /** @name Process health and accounting

@@ -1,0 +1,188 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "platform/logging.h"
+
+namespace rchdroid::mc {
+
+namespace {
+
+/** A slept event: its id plus the footprint observed when explored. */
+struct SleepEntry
+{
+    EventId id = kInvalidEventId;
+    std::set<std::string> footprint;
+};
+
+bool
+footprintsIntersect(const std::set<std::string> &a,
+                    const std::set<std::string> &b)
+{
+    // "<barrier>" poisons a footprint: conservatively dependent.
+    if (a.count("<barrier>") || b.count("<barrier>"))
+        return true;
+    for (const std::string &name : a) {
+        if (b.count(name))
+            return true;
+    }
+    return false;
+}
+
+class Explorer
+{
+  public:
+    explicit Explorer(const ExplorerOptions &options) : options_(options) {}
+
+    ExplorerReport
+    run()
+    {
+        std::vector<int> prefix;
+        ExecutionResult root = execute(prefix);
+        report_.stats.schedules_covered = dfs(prefix, root, 0, {});
+        report_.stats.distinct_states = visited_.size();
+        return std::move(report_);
+    }
+
+  private:
+    using VisitedKey = std::tuple<std::uint64_t, int, int>;
+
+    ExecutionResult
+    execute(const std::vector<int> &schedule)
+    {
+        ++report_.stats.executions;
+        ExecutionOptions eo;
+        eo.scenario = options_.scenario;
+        eo.schedule = schedule;
+        eo.max_choice_points = options_.max_depth;
+        eo.oracles = options_.oracles;
+        eo.run_analysis = options_.run_analysis;
+        eo.fingerprints = options_.reduction;
+        ExecutionResult result = runExecution(eo);
+        for (const McViolation &violation : result.violations) {
+            if (!seen_.insert({violation.oracle, violation.summary}).second)
+                continue;
+            report_.violations.push_back(violation);
+        }
+        if (!result.violations.empty() &&
+            report_.first_violation_schedule.empty()) {
+            // Normalise to exactly what the execution chose, so the
+            // replay is self-contained even if `schedule` was shorter.
+            for (const ChoicePoint &cp : result.choice_points)
+                report_.first_violation_schedule.push_back(cp.chosen);
+            if (report_.first_violation_schedule.empty())
+                report_.first_violation_schedule.push_back(0);
+        }
+        return result;
+    }
+
+    /**
+     * Explore the subtree below `prefix`; `spine` is an execution whose
+     * schedule extends `prefix` with defaults. Returns the number of
+     * schedules the subtree covers.
+     */
+    std::uint64_t
+    dfs(std::vector<int> &prefix, const ExecutionResult &spine,
+        std::size_t level, std::vector<SleepEntry> sleep)
+    {
+        if (truncated_)
+            return 0;
+        if (level >= spine.choice_points.size())
+            return 1; // the path ran out of choice points: one schedule
+        ++report_.stats.nodes;
+        const ChoicePoint &cp = spine.choice_points[level];
+
+        VisitedKey key{cp.fingerprint_before,
+                       options_.max_depth - static_cast<int>(level),
+                       cp.injections_left};
+        if (options_.reduction) {
+            auto it = visited_.find(key);
+            if (it != visited_.end()) {
+                ++report_.stats.visited_hits;
+                return it->second;
+            }
+        }
+
+        std::uint64_t covered = 0;
+        std::vector<SleepEntry> explored;
+        for (int i = 0; i < static_cast<int>(cp.options.size()); ++i) {
+            if (truncated_)
+                break;
+            const ChoiceOption &option = cp.options[i];
+            const bool is_event = option.kind == ChoiceOption::Kind::Event;
+            if (options_.reduction && is_event &&
+                std::any_of(sleep.begin(), sleep.end(),
+                            [&option](const SleepEntry &entry) {
+                                return entry.id == option.event_id;
+                            })) {
+                ++report_.stats.sleep_skips;
+                continue;
+            }
+
+            prefix.push_back(i);
+            ExecutionResult branch;
+            const ExecutionResult *child = nullptr;
+            if (i == cp.chosen) {
+                child = &spine; // the spine already took this option
+            } else if (report_.stats.executions >=
+                       options_.max_executions) {
+                truncated_ = true;
+                report_.stats.truncated = true;
+                prefix.pop_back();
+                break;
+            } else {
+                branch = execute(prefix);
+                child = &branch;
+            }
+
+            static const std::set<std::string> kEmpty;
+            const std::set<std::string> &footprint =
+                child->choice_points.size() > level
+                    ? child->choice_points[level].segment_footprint
+                    : kEmpty;
+
+            std::vector<SleepEntry> child_sleep;
+            if (options_.reduction) {
+                for (const std::vector<SleepEntry> *source :
+                     {&sleep, &explored}) {
+                    for (const SleepEntry &entry : *source) {
+                        if (!footprintsIntersect(entry.footprint,
+                                                 footprint))
+                            child_sleep.push_back(entry);
+                    }
+                }
+            }
+            covered += dfs(prefix, *child, level + 1,
+                           std::move(child_sleep));
+            prefix.pop_back();
+
+            if (options_.reduction && is_event)
+                explored.push_back(SleepEntry{option.event_id, footprint});
+        }
+
+        if (options_.reduction && !truncated_)
+            visited_[key] = covered;
+        return covered;
+    }
+
+    ExplorerOptions options_;
+    ExplorerReport report_;
+    std::map<VisitedKey, std::uint64_t> visited_;
+    std::set<std::pair<std::string, std::string>> seen_;
+    bool truncated_ = false;
+};
+
+} // namespace
+
+ExplorerReport
+explore(const ExplorerOptions &options)
+{
+    RCH_ASSERT(options.scenario != nullptr, "explore without scenario");
+    return Explorer(options).run();
+}
+
+} // namespace rchdroid::mc

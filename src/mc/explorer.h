@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bounded DFS over the schedule space of a scenario, with two
+ * partial-order-style reductions:
+ *
+ *  - Sleep sets (Godefroid): after exploring event e at a choice
+ *    point, e is put to sleep for the sibling branches — a sibling
+ *    subtree need not re-run e while everything executed since is
+ *    independent of it (disjoint observed looper footprints), because
+ *    "f then e" is Mazurkiewicz-equivalent to the already-explored
+ *    "e then f". A step whose footprint intersects a sleeping event's
+ *    footprint (or that crossed a sync barrier) wakes it. Injections
+ *    are global (they touch the ATMS and every app) and are never
+ *    slept. Footprints are observed dynamically per branch — the
+ *    classical static independence relation is replaced by what the
+ *    McHooks actually saw, which is exact for replayed prefixes.
+ *
+ *  - Visited-state pruning: the canonical fingerprint
+ *    (src/mc/state_hash.h) keyed with (remaining depth, remaining
+ *    injection budget) memoizes fully-explored subtrees. A prefix
+ *    reaching a known key contributes the memoized subtree's schedule
+ *    count without re-executing it — so `schedules_covered` counts
+ *    every distinguishable schedule the search *covered*, while
+ *    `executions` counts the re-executions actually paid for.
+ *
+ * Exploration is stateless: each branch is a full re-execution via
+ * runExecution(), and one execution serves as the "spine" for the
+ * whole default-continuation of its prefix, so the DFS performs
+ * exactly one execution per explored branch.
+ */
+#ifndef RCHDROID_MC_EXPLORER_H
+#define RCHDROID_MC_EXPLORER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/execution.h"
+
+namespace rchdroid::mc {
+
+struct ExplorerOptions
+{
+    const Scenario *scenario = nullptr;
+    /** Choice points explored along any one schedule. */
+    int max_depth = 10;
+    /** Re-execution budget; the search truncates when exhausted. */
+    std::uint64_t max_executions = 50'000;
+    /** Oracle names; empty means defaultOracleNames(). */
+    std::vector<std::string> oracles;
+    /** Run the PR-1 analyzer on every execution. */
+    bool run_analysis = true;
+    /** Sleep sets + visited-state pruning; false = naive DFS. */
+    bool reduction = true;
+};
+
+struct ExplorerStats
+{
+    /** Full re-executions performed. */
+    std::uint64_t executions = 0;
+    /** Distinguishable schedules covered (incl. memoized subtrees). */
+    std::uint64_t schedules_covered = 0;
+    /** Choice-point nodes visited by the DFS. */
+    std::uint64_t nodes = 0;
+    /** Distinct (state, depth, budget) keys memoized. */
+    std::uint64_t distinct_states = 0;
+    /** Subtrees answered from the visited table. */
+    std::uint64_t visited_hits = 0;
+    /** Sibling branches skipped by sleep sets. */
+    std::uint64_t sleep_skips = 0;
+    /** True when max_executions stopped the search early. */
+    bool truncated = false;
+};
+
+struct ExplorerReport
+{
+    ExplorerStats stats;
+    /** Distinct findings, in discovery order (deduped by summary). */
+    std::vector<McViolation> violations;
+    /**
+     * Schedule of the first violating execution (one entry per choice
+     * point it recorded) — the minimizer's starting point.
+     */
+    std::vector<int> first_violation_schedule;
+};
+
+/** Explore the scenario's schedule space up to the configured bounds. */
+ExplorerReport explore(const ExplorerOptions &options);
+
+} // namespace rchdroid::mc
+
+#endif // RCHDROID_MC_EXPLORER_H

@@ -1,0 +1,123 @@
+#include "mc/hooks.h"
+
+#include "os/looper.h"
+
+namespace rchdroid::mc {
+
+McHooks::McHooks(bool run_analysis)
+{
+    if (run_analysis) {
+        analysis::AnalyzerOptions options;
+        options.race_detector = true;
+        options.lifecycle_checker = true;
+        // The explorer reads the sink after every step; aborting would
+        // kill the whole schedule enumeration on the first finding.
+        options.abort_on_violation = false;
+        analyzer_ = std::make_unique<analysis::Analyzer>(options);
+    }
+}
+
+void
+McHooks::onLooperCreated(Looper &looper)
+{
+    if (analyzer_)
+        analyzer_->onLooperCreated(looper);
+}
+
+void
+McHooks::onLooperDestroyed(Looper &looper)
+{
+    if (analyzer_)
+        analyzer_->onLooperDestroyed(looper);
+}
+
+void
+McHooks::onMessageSend(Looper &target, std::uint64_t msg_id)
+{
+    footprint_.insert(target.name());
+    if (analyzer_)
+        analyzer_->onMessageSend(target, msg_id);
+}
+
+void
+McHooks::onDispatchBegin(Looper &looper, std::uint64_t msg_id,
+                         const std::string &tag)
+{
+    footprint_.insert(looper.name());
+    if (analyzer_)
+        analyzer_->onDispatchBegin(looper, msg_id, tag);
+}
+
+void
+McHooks::onDispatchEnd(Looper &looper)
+{
+    if (analyzer_)
+        analyzer_->onDispatchEnd(looper);
+}
+
+void
+McHooks::onSyncBarrier(const void *scope, const char *label)
+{
+    // A barrier is global synchronisation: conservatively poison the
+    // footprint so the step is treated as dependent with everything.
+    footprint_.insert("<barrier>");
+    if (analyzer_)
+        analyzer_->onSyncBarrier(scope, label);
+}
+
+void
+McHooks::onSharedAccess(const void *object, const char *kind,
+                        const std::string &label, bool is_write)
+{
+    if (analyzer_)
+        analyzer_->onSharedAccess(object, kind, label, is_write);
+}
+
+void
+McHooks::onObjectGone(const void *object)
+{
+    if (analyzer_)
+        analyzer_->onObjectGone(object);
+}
+
+void
+McHooks::onLifecycleTransition(const void *activity, const void *scope,
+                               const std::string &component,
+                               std::uint64_t instance_id, std::uint8_t from,
+                               std::uint8_t to)
+{
+    if (analyzer_)
+        analyzer_->onLifecycleTransition(activity, scope, component,
+                                         instance_id, from, to);
+}
+
+void
+McHooks::onActivityGone(const void *activity)
+{
+    if (analyzer_)
+        analyzer_->onActivityGone(activity);
+}
+
+void
+McHooks::onDestroyedViewMutation(const void *view, const char *kind,
+                                 const std::string &label)
+{
+    if (analyzer_)
+        analyzer_->onDestroyedViewMutation(view, kind, label);
+}
+
+void
+McHooks::onAppCodeBegin()
+{
+    if (analyzer_)
+        analyzer_->onAppCodeBegin();
+}
+
+void
+McHooks::onAppCodeEnd()
+{
+    if (analyzer_)
+        analyzer_->onAppCodeEnd();
+}
+
+} // namespace rchdroid::mc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * McHooks: the model checker's analysis::Hooks implementation — one
+ * object that (a) owns a full analysis::Analyzer (the PR-1 race
+ * detector + lifecycle checker, abort disabled so the explorer can
+ * observe violations instead of dying on them) and forwards every
+ * framework event to it, and (b) records the *footprint* of the step
+ * currently executing: which loopers it dispatched on or posted to.
+ *
+ * Footprints feed the sleep-set reduction (src/mc/explorer.h): two
+ * scheduling choices whose footprints are disjoint commute, so only one
+ * of their two orders needs exploring.
+ *
+ * The hooks MUST be installed before the AndroidSystem under test is
+ * constructed: AndroidSystem's own ScopedAnalyzer is idempotent (inert
+ * when hooks exist), and — critically — it force-arms abort-on-violation
+ * from RCHDROID_ANALYSIS_ABORT, which is set for every ctest run and
+ * would kill the explorer at its first (intentionally found) violation.
+ */
+#ifndef RCHDROID_MC_HOOKS_H
+#define RCHDROID_MC_HOOKS_H
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "os/analysis_hooks.h"
+
+namespace rchdroid::mc {
+
+/**
+ * Forwarding hooks + footprint recorder. See file comment.
+ */
+class McHooks final : public analysis::Hooks
+{
+  public:
+    /**
+     * @param run_analysis Run the PR-1 checkers on every explored
+     *        schedule (the "analysis" oracle). When false the hooks
+     *        only record footprints.
+     */
+    explicit McHooks(bool run_analysis);
+
+    /** The wrapped analyzer, or null when run_analysis was false. */
+    analysis::Analyzer *analyzer() { return analyzer_.get(); }
+
+    /** @name Footprint recording (explorer-driven)
+     * @{
+     */
+    /** Start recording a fresh footprint for the next step. */
+    void beginStep() { footprint_.clear(); }
+    /** Loopers the step touched (dispatches + message sends). */
+    const std::set<std::string> &footprint() const { return footprint_; }
+    /** @} */
+
+    /** @name Hooks: forward to the analyzer, record looper touches
+     * @{
+     */
+    void onLooperCreated(Looper &looper) override;
+    void onLooperDestroyed(Looper &looper) override;
+    void onMessageSend(Looper &target, std::uint64_t msg_id) override;
+    void onDispatchBegin(Looper &looper, std::uint64_t msg_id,
+                         const std::string &tag) override;
+    void onDispatchEnd(Looper &looper) override;
+    void onSyncBarrier(const void *scope, const char *label) override;
+    void onSharedAccess(const void *object, const char *kind,
+                        const std::string &label, bool is_write) override;
+    void onObjectGone(const void *object) override;
+    void onLifecycleTransition(const void *activity, const void *scope,
+                               const std::string &component,
+                               std::uint64_t instance_id, std::uint8_t from,
+                               std::uint8_t to) override;
+    void onActivityGone(const void *activity) override;
+    void onDestroyedViewMutation(const void *view, const char *kind,
+                                 const std::string &label) override;
+    void onAppCodeBegin() override;
+    void onAppCodeEnd() override;
+    /** @} */
+
+  private:
+    std::unique_ptr<analysis::Analyzer> analyzer_;
+    std::set<std::string> footprint_;
+};
+
+/**
+ * RAII installer that *replaces* whatever hooks the thread had (unlike
+ * ScopedAnalyzer, which defers to an existing installation — the
+ * explorer must win over a test harness's ambient analyzer) and
+ * restores the previous hooks on destruction.
+ */
+class ScopedMcHooks
+{
+  public:
+    explicit ScopedMcHooks(McHooks &hooks)
+        : previous_(analysis::hooks())
+    {
+        analysis::setHooks(&hooks);
+    }
+
+    ~ScopedMcHooks() { analysis::setHooks(previous_); }
+
+    ScopedMcHooks(const ScopedMcHooks &) = delete;
+    ScopedMcHooks &operator=(const ScopedMcHooks &) = delete;
+
+  private:
+    analysis::Hooks *previous_;
+};
+
+} // namespace rchdroid::mc
+
+#endif // RCHDROID_MC_HOOKS_H

@@ -1,0 +1,102 @@
+#include "mc/minimize.h"
+
+#include <algorithm>
+
+#include "platform/logging.h"
+
+namespace rchdroid::mc {
+
+namespace {
+
+std::vector<int>
+trimTrailingDefaults(std::vector<int> schedule)
+{
+    while (!schedule.empty() && schedule.back() == 0)
+        schedule.pop_back();
+    return schedule;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeCounterexample(const MinimizeOptions &options)
+{
+    RCH_ASSERT(options.scenario != nullptr, "minimize without scenario");
+    MinimizeResult result;
+
+    const auto reproduces = [&](const std::vector<int> &schedule) -> bool {
+        ++result.executions;
+        ExecutionOptions eo;
+        eo.scenario = options.scenario;
+        eo.schedule = schedule;
+        eo.max_choice_points = options.max_choice_points;
+        eo.oracles = options.oracles;
+        eo.run_analysis = options.run_analysis;
+        eo.fingerprints = false; // replays do not need state hashes
+        const ExecutionResult replay = runExecution(eo);
+        if (replay.violations.empty())
+            return false;
+        return options.oracle.empty() ||
+               replay.violations.front().oracle == options.oracle;
+    };
+
+    if (!reproduces(options.schedule)) {
+        result.schedule = trimTrailingDefaults(options.schedule);
+        return result;
+    }
+    result.reproduced = true;
+
+    // The deviation set: positions where the schedule departs from the
+    // stock scheduler. ddmin operates on this set; a candidate zeroes
+    // every position outside the kept subset.
+    std::vector<int> schedule = options.schedule;
+    std::vector<std::size_t> deviations;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (schedule[i] != 0)
+            deviations.push_back(i);
+    }
+
+    const auto candidate =
+        [&schedule](const std::vector<std::size_t> &keep) {
+            std::vector<int> out(schedule.size(), 0);
+            for (std::size_t position : keep)
+                out[position] = schedule[position];
+            return out;
+        };
+
+    // Classic ddmin: try subsets, then complements, then refine.
+    std::size_t granularity = 2;
+    while (deviations.size() >= 2) {
+        const std::size_t chunk =
+            std::max<std::size_t>(1, deviations.size() / granularity);
+        bool reduced = false;
+        for (std::size_t start = 0; start < deviations.size();
+             start += chunk) {
+            // Complement: drop one chunk, keep the rest.
+            std::vector<std::size_t> keep;
+            for (std::size_t i = 0; i < deviations.size(); ++i) {
+                if (i < start || i >= start + chunk)
+                    keep.push_back(deviations[i]);
+            }
+            if (keep.size() == deviations.size())
+                continue;
+            if (reproduces(candidate(keep))) {
+                deviations = keep;
+                granularity = std::max<std::size_t>(2, granularity - 1);
+                reduced = true;
+                break;
+            }
+        }
+        if (reduced)
+            continue;
+        if (chunk <= 1)
+            break; // 1-minimal: no single deviation can be dropped
+        granularity = std::min(deviations.size(), granularity * 2);
+    }
+
+    result.schedule = trimTrailingDefaults(candidate(deviations));
+    result.non_default_choices = static_cast<int>(deviations.size());
+    return result;
+}
+
+} // namespace rchdroid::mc

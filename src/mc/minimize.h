@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Counterexample minimization: ddmin over the non-default choices.
+ *
+ * A violating schedule found by DFS usually carries irrelevant
+ * deviations (injections and reorderings that do not matter for the
+ * bug). The minimizer runs Zeller-style delta debugging over the set
+ * of non-default positions: a candidate keeps a subset of them and
+ * resets every other position to 0 (the stock scheduler's choice),
+ * then replays. The result is 1-minimal — resetting any single
+ * remaining deviation makes the violation disappear — and trailing
+ * defaults are trimmed, so the reported counterexample is exactly the
+ * decisions that produce the bug.
+ */
+#ifndef RCHDROID_MC_MINIMIZE_H
+#define RCHDROID_MC_MINIMIZE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/execution.h"
+
+namespace rchdroid::mc {
+
+struct MinimizeOptions
+{
+    const Scenario *scenario = nullptr;
+    /** Must reproduce a violation when replayed (else returned as-is). */
+    std::vector<int> schedule;
+    int max_choice_points = 10;
+    std::vector<std::string> oracles;
+    bool run_analysis = true;
+    /** Only keep candidates reproducing this oracle; empty = any. */
+    std::string oracle;
+};
+
+struct MinimizeResult
+{
+    /** Minimized schedule, trailing defaults trimmed. */
+    std::vector<int> schedule;
+    /** Non-default choices remaining (the counterexample's size). */
+    int non_default_choices = 0;
+    /** Replays spent minimizing. */
+    std::uint64_t executions = 0;
+    /** False when the input schedule did not reproduce at all. */
+    bool reproduced = false;
+};
+
+MinimizeResult minimizeCounterexample(const MinimizeOptions &options);
+
+} // namespace rchdroid::mc
+
+#endif // RCHDROID_MC_MINIMIZE_H

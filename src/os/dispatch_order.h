@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DispatchOrder: the named tie-break contract of the discrete-event
+ * core.
+ *
+ * Every pending-work container in the simulator — SimScheduler's event
+ * heap and each Looper's MessageQueue — orders work by the pair
+ * (when, seq): earliest virtual delivery time first, FIFO among equal
+ * times by arrival ticket. Android's MessageQueue guarantees exactly
+ * this (messages posted at the same uptime run in post order), and the
+ * lazy-migration and coin-flip logic depend on it for determinism.
+ *
+ * The contract lives here, in one header, so the production heaps and
+ * the model checker's NondetSeam (which enumerates the events tied at
+ * the minimum `when` as explicit scheduling choices) can never silently
+ * diverge: both compare through these functions, and
+ * tests/os/dispatch_order_test.cc pins the semantics.
+ */
+#ifndef RCHDROID_OS_DISPATCH_ORDER_H
+#define RCHDROID_OS_DISPATCH_ORDER_H
+
+#include <cstdint>
+
+#include "platform/time.h"
+
+namespace rchdroid::dispatch_order {
+
+/** The ordering key: virtual delivery time + FIFO arrival ticket. */
+struct Key
+{
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Strict total order "a is delivered before b". (when, seq) pairs are
+ * unique within one container because seq is a monotone ticket.
+ */
+constexpr bool
+firesBefore(const Key &a, const Key &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    return a.seq < b.seq;
+}
+
+/** Heap predicate "a is delivered after b" (for std min-heaps). */
+constexpr bool
+firesAfter(const Key &a, const Key &b)
+{
+    return firesBefore(b, a);
+}
+
+/** Two keys are tied when they share a delivery time; FIFO breaks it. */
+constexpr bool
+tied(const Key &a, const Key &b)
+{
+    return a.when == b.when;
+}
+
+} // namespace rchdroid::dispatch_order
+
+#endif // RCHDROID_OS_DISPATCH_ORDER_H

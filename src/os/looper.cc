@@ -98,7 +98,11 @@ Looper::armWakeup()
         std::max({*next, busy_until_, scheduler_.now()});
     if (wakeup_event_ != kInvalidEventId)
         scheduler_.cancel(wakeup_event_);
-    wakeup_event_ = scheduler_.scheduleAt(target, [this] { onWakeup(); });
+    // The label makes this wakeup visible to the model checker's
+    // NondetSeam as "this looper is runnable": a looper has at most one
+    // armed wakeup, so the label names the simulated thread uniquely.
+    wakeup_event_ = scheduler_.scheduleAt(target, [this] { onWakeup(); },
+                                          EventLabel{this, name_.c_str()});
 }
 
 void

@@ -107,6 +107,9 @@ class Looper
     /** Queue depth (diagnostics). */
     std::size_t queuedMessages() const { return queue_.size(); }
 
+    /** Read-only pending queue (model-checker fingerprints, dumpsys). */
+    const MessageQueue &queue() const { return queue_; }
+
     /** Tag of the message currently dispatching ("" outside dispatch). */
     const std::string &currentTag() const { return current_tag_; }
 

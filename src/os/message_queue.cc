@@ -74,6 +74,20 @@ MessageQueue::takeHead()
     return msg;
 }
 
+void
+MessageQueue::forEachPendingInOrder(
+    const std::function<void(const Message &)> &fn) const
+{
+    std::vector<HeapEntry> ordered = heap_;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const HeapEntry &a, const HeapEntry &b) {
+                  return dispatch_order::firesBefore({a.when, a.seq},
+                                                     {b.when, b.seq});
+              });
+    for (const HeapEntry &entry : ordered)
+        fn(slots_[entry.slot]);
+}
+
 template <typename Pred>
 std::size_t
 MessageQueue::removeMatching(Pred &&matches)

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "os/dispatch_order.h"
 #include "platform/time.h"
 
 namespace rchdroid {
@@ -91,6 +92,16 @@ class MessageQueue
     bool empty() const { return heap_.empty(); }
     std::size_t size() const { return heap_.size(); }
 
+    /**
+     * Visit every pending message in delivery order — the
+     * os/dispatch_order.h (when, seq) contract — without disturbing the
+     * queue. O(n log n); used by the model checker to fingerprint
+     * queue contents canonically (heap array order is not canonical)
+     * and by introspection tools.
+     */
+    void forEachPendingInOrder(
+        const std::function<void(const Message &)> &fn) const;
+
   private:
     /** Heap key: delivery order + the slab slot holding the payload. */
     struct HeapEntry
@@ -100,13 +111,11 @@ class MessageQueue
         std::uint32_t slot;
     };
 
-    /** Heap predicate: does `a` deliver after `b`? Min-heap on (when, seq). */
+    /** Heap predicate: the os/dispatch_order.h (when, seq) contract. */
     static bool
     laterThan(const HeapEntry &a, const HeapEntry &b)
     {
-        if (a.when != b.when)
-            return a.when > b.when;
-        return a.seq > b.seq;
+        return dispatch_order::firesAfter({a.when, a.seq}, {b.when, b.seq});
     }
 
     template <typename Pred> std::size_t removeMatching(Pred &&matches);

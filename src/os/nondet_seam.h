@@ -1,0 +1,49 @@
+/**
+ * @file
+ * NondetSeam: the scheduler-level seam that exposes scheduling
+ * nondeterminism to an external explorer (src/mc/).
+ *
+ * The production simulator is deterministic: SimScheduler resolves ties
+ * at equal virtual times FIFO (os/dispatch_order.h). Real Android makes
+ * no such promise across threads — two loopers whose next messages are
+ * due "now" may run in either order. The model checker needs to drive
+ * both orders, so:
+ *
+ *  - every scheduled event may carry an EventLabel naming its logical
+ *    owner (a looper wakeup, a binder leg, a harness timer); labels are
+ *    stored in the closure slab, not in the 32-byte heap keys, so the
+ *    hot sift path is unchanged;
+ *  - SimScheduler::runnableNow() enumerates the live events tied at the
+ *    minimum `when` — the candidate set of one scheduling choice;
+ *  - SimScheduler::runEventById() dispatches one chosen candidate,
+ *    overriding the FIFO default.
+ *
+ * Production code never calls the last two; when nobody does, behaviour
+ * is byte-for-byte the FIFO contract. The explorer replays a schedule
+ * as the sequence of indices it picked at each choice point, which is
+ * deterministic because candidate enumeration follows dispatch_order.
+ */
+#ifndef RCHDROID_OS_NONDET_SEAM_H
+#define RCHDROID_OS_NONDET_SEAM_H
+
+namespace rchdroid {
+
+/**
+ * Optional identity of a scheduled event, for the explorer only.
+ *
+ * `name` must outlive the event (loopers pass their own name storage;
+ * static strings otherwise). Events without a label are treated by the
+ * explorer as conservatively dependent on everything (never commuted
+ * away by partial-order reduction).
+ */
+struct EventLabel
+{
+    /** The owning object (e.g. the Looper), for grouping; may be null. */
+    const void *owner = nullptr;
+    /** Stable human-readable owner name; null for unlabeled events. */
+    const char *name = nullptr;
+};
+
+} // namespace rchdroid
+
+#endif // RCHDROID_OS_NONDET_SEAM_H

@@ -15,14 +15,16 @@ constexpr std::uint64_t kMaxEventsPerRun = 200'000'000;
 } // namespace
 
 EventId
-SimScheduler::schedule(SimDuration delay, std::function<void()> fn)
+SimScheduler::schedule(SimDuration delay, std::function<void()> fn,
+                       EventLabel label)
 {
     RCH_ASSERT(delay >= 0, "negative delay ", delay);
-    return scheduleAt(now_ + delay, std::move(fn));
+    return scheduleAt(now_ + delay, std::move(fn), label);
 }
 
 EventId
-SimScheduler::scheduleAt(SimTime when, std::function<void()> fn)
+SimScheduler::scheduleAt(SimTime when, std::function<void()> fn,
+                         EventLabel label)
 {
     RCH_ASSERT(when >= now_, "scheduleAt in the past: when=", when,
                " now=", now_);
@@ -32,10 +34,11 @@ SimScheduler::scheduleAt(SimTime when, std::function<void()> fn)
     if (!free_slots_.empty()) {
         slot = free_slots_.back();
         free_slots_.pop_back();
-        slots_[slot] = std::move(fn);
+        slots_[slot].fn = std::move(fn);
+        slots_[slot].label = label;
     } else {
         slot = static_cast<std::uint32_t>(slots_.size());
-        slots_.push_back(std::move(fn));
+        slots_.push_back(EventSlot{std::move(fn), label});
     }
     heap_.push_back(HeapEntry{when, next_seq_++, id, slot});
     std::push_heap(heap_.begin(), heap_.end(), laterThan);
@@ -98,7 +101,8 @@ SimScheduler::dropCancelledHead()
         const std::uint32_t slot = popHeadSlot();
         // Release the closure now: cancellation must drop whatever it
         // keeps alive, exactly like the old pop-and-discard.
-        slots_[slot] = nullptr;
+        slots_[slot].fn = nullptr;
+        slots_[slot].label = EventLabel{};
         releaseSlot(slot);
     }
     if (heap_.empty()) {
@@ -106,6 +110,17 @@ SimScheduler::dropCancelledHead()
         // already ran (cancel raced the dispatch); purge them.
         cancelled_.clear();
     }
+}
+
+void
+SimScheduler::dispatchSlot(std::uint32_t slot, SimTime when)
+{
+    std::function<void()> fn = std::move(slots_[slot].fn);
+    slots_[slot].label = EventLabel{};
+    releaseSlot(slot);
+    now_ = when;
+    ++executed_;
+    fn();
 }
 
 bool
@@ -117,11 +132,93 @@ SimScheduler::runNext()
     const SimTime when = heap_.front().when;
     RCH_ASSERT(when >= now_, "time went backwards");
     const std::uint32_t slot = popHeadSlot();
-    std::function<void()> fn = std::move(slots_[slot]);
-    releaseSlot(slot);
-    now_ = when;
-    ++executed_;
-    fn();
+    dispatchSlot(slot, when);
+    return true;
+}
+
+std::vector<RunnableEvent>
+SimScheduler::runnableNow() const
+{
+    std::vector<RunnableEvent> runnable;
+    if (heap_.empty())
+        return runnable;
+    // The head may be a tombstone (dropCancelledHead is non-const, and
+    // this is a pure query), so scan for the live minimum instead.
+    bool found = false;
+    SimTime min_when = 0;
+    for (const HeapEntry &entry : heap_) {
+        if (!cancelled_.empty() &&
+            cancelled_.find(entry.id) != cancelled_.end())
+            continue;
+        if (!found || entry.when < min_when) {
+            found = true;
+            min_when = entry.when;
+        }
+    }
+    if (!found)
+        return runnable;
+    for (const HeapEntry &entry : heap_) {
+        if (entry.when != min_when)
+            continue;
+        if (!cancelled_.empty() &&
+            cancelled_.find(entry.id) != cancelled_.end())
+            continue;
+        runnable.push_back(RunnableEvent{entry.id, entry.when, entry.seq,
+                                         slots_[entry.slot].label});
+    }
+    std::sort(runnable.begin(), runnable.end(),
+              [](const RunnableEvent &a, const RunnableEvent &b) {
+                  return dispatch_order::firesBefore({a.when, a.seq},
+                                                     {b.when, b.seq});
+              });
+    return runnable;
+}
+
+std::vector<RunnableEvent>
+SimScheduler::pendingInOrder() const
+{
+    std::vector<RunnableEvent> pending;
+    pending.reserve(heap_.size());
+    for (const HeapEntry &entry : heap_) {
+        if (!cancelled_.empty() &&
+            cancelled_.find(entry.id) != cancelled_.end())
+            continue;
+        pending.push_back(RunnableEvent{entry.id, entry.when, entry.seq,
+                                        slots_[entry.slot].label});
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const RunnableEvent &a, const RunnableEvent &b) {
+                  return dispatch_order::firesBefore({a.when, a.seq},
+                                                     {b.when, b.seq});
+              });
+    return pending;
+}
+
+bool
+SimScheduler::runEventById(EventId id)
+{
+    dropCancelledHead();
+    if (id == kInvalidEventId || heap_.empty())
+        return false;
+    if (cancelled_.find(id) != cancelled_.end())
+        return false;
+    auto it = std::find_if(
+        heap_.begin(), heap_.end(),
+        [id](const HeapEntry &entry) { return entry.id == id; });
+    if (it == heap_.end())
+        return false;
+    RCH_ASSERT(it->when == heap_.front().when,
+               "runEventById would run the future early: when=", it->when,
+               " head=", heap_.front().when);
+    const SimTime when = it->when;
+    const std::uint32_t slot = it->slot;
+    // O(n) removal + re-heapify: the seam only runs under the explorer,
+    // where pending sets are tiny and wall-clock is dominated by the
+    // schedule fan-out, not by one heap rebuild.
+    *it = heap_.back();
+    heap_.pop_back();
+    std::make_heap(heap_.begin(), heap_.end(), laterThan);
+    dispatchSlot(slot, when);
     return true;
 }
 

@@ -16,6 +16,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "os/dispatch_order.h"
+#include "os/nondet_seam.h"
 #include "platform/time.h"
 
 namespace rchdroid {
@@ -27,11 +29,25 @@ using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 /**
+ * One live scheduler event tied at the minimum `when`, as enumerated by
+ * the NondetSeam (SimScheduler::runnableNow). Candidates are listed in
+ * dispatch_order (FIFO) order, so index 0 is the event the production
+ * scheduler would run next.
+ */
+struct RunnableEvent
+{
+    EventId id = kInvalidEventId;
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    EventLabel label;
+};
+
+/**
  * A single-owner discrete-event scheduler over virtual time.
  *
- * Events at equal timestamps run in schedule order (FIFO), which is the
- * property Android's MessageQueue relies on and the lazy-migration logic
- * depends on for determinism.
+ * Events at equal timestamps run in schedule order (FIFO), the named
+ * os/dispatch_order.h contract Android's MessageQueue relies on and the
+ * lazy-migration logic depends on for determinism.
  *
  * The pending set is an indexed binary min-heap on (when, seq) rather
  * than a std::priority_queue: the heap orders 32-byte POD keys pointing
@@ -52,10 +68,12 @@ class SimScheduler
     SimTime now() const { return now_; }
 
     /** Schedule fn to run after delay (>= 0) from now. */
-    EventId schedule(SimDuration delay, std::function<void()> fn);
+    EventId schedule(SimDuration delay, std::function<void()> fn,
+                     EventLabel label = {});
 
     /** Schedule fn at an absolute virtual time (>= now). */
-    EventId scheduleAt(SimTime when, std::function<void()> fn);
+    EventId scheduleAt(SimTime when, std::function<void()> fn,
+                       EventLabel label = {});
 
     /**
      * Cancel a pending event.
@@ -74,6 +92,31 @@ class SimScheduler
      * @return true if an event ran.
      */
     bool step();
+
+    /** @name NondetSeam (model-checker control; see os/nondet_seam.h)
+     * @{
+     */
+    /**
+     * The live events tied at the minimum pending `when`, in
+     * dispatch_order (FIFO) order. Empty when nothing is pending.
+     * These are exactly the candidates of one scheduling choice: the
+     * production scheduler always runs index 0.
+     */
+    std::vector<RunnableEvent> runnableNow() const;
+    /**
+     * Every live pending event in delivery (dispatch_order) order, not
+     * just the tied head set. O(n log n); used by the model checker to
+     * fingerprint the pending set canonically.
+     */
+    std::vector<RunnableEvent> pendingInOrder() const;
+    /**
+     * Dispatch one specific event from the current runnableNow() set,
+     * advancing the clock to its `when`. Asserts the event is tied at
+     * the minimum `when` (an explorer must not run the future early).
+     * @return false when the id is unknown or cancelled.
+     */
+    bool runEventById(EventId id);
+    /** @} */
 
     /** Number of live (non-cancelled) events waiting. */
     std::size_t pendingEvents() const;
@@ -105,13 +148,18 @@ class SimScheduler
         std::uint32_t slot;
     };
 
-    /** Heap predicate: does `a` fire after `b`? Min-heap on (when, seq). */
+    /** Slab cell: the closure plus its (optional) NondetSeam label. */
+    struct EventSlot
+    {
+        std::function<void()> fn;
+        EventLabel label;
+    };
+
+    /** Heap predicate: the os/dispatch_order.h (when, seq) contract. */
     static bool
     laterThan(const HeapEntry &a, const HeapEntry &b)
     {
-        if (a.when != b.when)
-            return a.when > b.when;
-        return a.seq > b.seq;
+        return dispatch_order::firesAfter({a.when, a.seq}, {b.when, b.seq});
     }
 
     bool runNext();
@@ -121,6 +169,8 @@ class SimScheduler
     std::uint32_t popHeadSlot();
     /** Return a slot to the free list (or reset the slab on drain). */
     void releaseSlot(std::uint32_t slot);
+    /** Take the closure out of `slot`, release it, advance and run. */
+    void dispatchSlot(std::uint32_t slot, SimTime when);
 
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 1;
@@ -128,7 +178,7 @@ class SimScheduler
     std::uint64_t executed_ = 0;
     std::vector<HeapEntry> heap_;
     /** Closure slab; slots listed in free_slots_ are vacant. */
-    std::vector<std::function<void()>> slots_;
+    std::vector<EventSlot> slots_;
     std::vector<std::uint32_t> free_slots_;
     std::unordered_set<EventId> cancelled_;
 };

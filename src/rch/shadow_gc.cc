@@ -16,8 +16,10 @@ ShadowGcPolicy::noteShadowEntered(SimTime now)
 void
 ShadowGcPolicy::expireOld(SimTime now)
 {
+    // The trailing window is (now - k, now]: an entry exactly k old is
+    // expired (boundary semantics documented in shadow_gc.h).
     while (!entries_.empty() &&
-           entries_.front() < now - config_.frequency_window) {
+           entries_.front() <= now - config_.frequency_window) {
         entries_.pop_front();
     }
 }
@@ -32,6 +34,8 @@ ShadowGcPolicy::shadowFrequency(SimTime now)
 GcDecision
 ShadowGcPolicy::decide(SimTime now, SimTime shadow_entered_at)
 {
+    // Boundary semantics (documented in shadow_gc.h): age exactly
+    // THRESH_T keeps; frequency exactly THRESH_F keeps.
     const SimDuration shadow_time = now - shadow_entered_at;
     if (shadow_time <= config_.thresh_t)
         return GcDecision::KeepYoung;

@@ -8,6 +8,18 @@
  *   shadow_frequency < THRESH_F  (it is not being flipped back often),
  * where shadow_frequency counts shadow-state entries in the trailing
  * k-second window.
+ *
+ * Boundary semantics (normative — this comment is the one documented
+ * place; tests/rch/shadow_gc_test.cc pins each row in a table test):
+ *
+ *   shadow_time == THRESH_T   → KEEP (KeepYoung). Collection requires
+ *       strictly greater age: "exceeds the threshold" in Algorithm 1.
+ *   shadow_frequency == THRESH_F → KEEP (KeepFrequent). The paper's
+ *       "four times per minute is frequent" counts four entries as
+ *       already frequent, so the keep test is >=.
+ *   entry age == k (window)   → EXPIRED. The trailing window is the
+ *       half-open interval (now - k, now]: an entry exactly k old has
+ *       left the window and no longer counts towards the frequency.
  */
 #ifndef RCHDROID_RCH_SHADOW_GC_H
 #define RCHDROID_RCH_SHADOW_GC_H

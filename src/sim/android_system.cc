@@ -69,7 +69,12 @@ class AndroidSystem::AtmsProxy final : public ActivityManager
     void
     defer(std::function<void()> fn)
     {
-        scheduler_.schedule(latency_.oneWay(0), std::move(fn));
+        // Labeled "binder" for the model checker's NondetSeam. Several
+        // binder legs may be tied at one instant; they share this label,
+        // which the explorer treats as conservatively dependent (binder
+        // delivery order towards the ATMS is a real ordering choice).
+        scheduler_.schedule(latency_.oneWay(0), std::move(fn),
+                            EventLabel{this, "binder"});
     }
 
     SimScheduler &scheduler_;

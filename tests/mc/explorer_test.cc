@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Exploration invariants on the clean example scenarios: the bounded
+ * DFS covers more schedules than it pays executions for, reports
+ * consistent statistics, finds no violations on correct apps, and an
+ * explicit replay of the all-defaults schedule reproduces the stock
+ * simulator run.
+ */
+#include <gtest/gtest.h>
+
+#include "mc/execution.h"
+#include "mc/explorer.h"
+#include "mc/scenario.h"
+
+namespace rchdroid::mc {
+namespace {
+
+ExplorerReport
+exploreScenario(const char *name, int depth, bool reduction = true)
+{
+    const Scenario *scenario = findScenario(name);
+    EXPECT_NE(scenario, nullptr) << name;
+    ExplorerOptions options;
+    options.scenario = scenario;
+    options.max_depth = depth;
+    options.reduction = reduction;
+    return explore(options);
+}
+
+TEST(ExplorerTest, QuickstartSmallBoundIsClean)
+{
+    const ExplorerReport report = exploreScenario("quickstart", 4);
+    EXPECT_TRUE(report.violations.empty());
+    EXPECT_FALSE(report.stats.truncated);
+    EXPECT_GT(report.stats.executions, 1u);
+    // Memoized subtrees mean coverage meets or beats what we paid.
+    EXPECT_GE(report.stats.schedules_covered, report.stats.executions);
+    EXPECT_GT(report.stats.nodes, 0u);
+    EXPECT_GT(report.stats.distinct_states, 0u);
+}
+
+TEST(ExplorerTest, AllCleanScenariosStayClean)
+{
+    for (const char *name :
+         {"login_form", "photo_gallery", "mail_navigation", "gc_tuning"}) {
+        const ExplorerReport report = exploreScenario(name, 3);
+        EXPECT_TRUE(report.violations.empty())
+            << name << ": " << (report.violations.empty()
+                                    ? ""
+                                    : report.violations.front().summary);
+        EXPECT_GE(report.stats.schedules_covered,
+                  report.stats.executions)
+            << name;
+    }
+}
+
+TEST(ExplorerTest, DepthZeroBudgetStillRunsTheDefaultSchedule)
+{
+    const Scenario *scenario = findScenario("quickstart");
+    ASSERT_NE(scenario, nullptr);
+    ExplorerOptions options;
+    options.scenario = scenario;
+    options.max_depth = 1;
+    const ExplorerReport report = explore(options);
+    EXPECT_GE(report.stats.executions, 1u);
+    EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(ExplorerTest, EmptyScheduleReplaysTheStockSimulator)
+{
+    const Scenario *scenario = findScenario("quickstart");
+    ASSERT_NE(scenario, nullptr);
+    ExecutionOptions options;
+    options.scenario = scenario;
+    options.schedule = {}; // all defaults: no injections, FIFO order
+    options.fingerprints = false;
+    const ExecutionResult result = runExecution(options);
+    EXPECT_TRUE(result.violations.empty());
+    // The idle device still records the end-the-window choice point.
+    EXPECT_FALSE(result.choice_points.empty());
+    // The injection-free default must not consume the injection budget.
+    for (const ChoicePoint &cp : result.choice_points)
+        EXPECT_NE(cp.options[cp.chosen].kind,
+                  ChoiceOption::Kind::Injection);
+}
+
+TEST(ExplorerTest, TruncationReportedWhenBudgetExhausted)
+{
+    const Scenario *scenario = findScenario("quickstart");
+    ASSERT_NE(scenario, nullptr);
+    ExplorerOptions options;
+    options.scenario = scenario;
+    options.max_depth = 10;
+    options.max_executions = 5;
+    options.reduction = false; // force enough branches to hit the cap
+    const ExplorerReport report = explore(options);
+    EXPECT_TRUE(report.stats.truncated);
+    EXPECT_LE(report.stats.executions, 5u);
+}
+
+} // namespace
+} // namespace rchdroid::mc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * End-to-end counterexample pipeline on the seeded GC bug (ISSUE
+ * acceptance): the mistuned-GC gallery scenario must be caught by the
+ * gc_live_async oracle within depth 8, delta-debug down to at most 6
+ * non-default choices, and the minimized schedule must replay the same
+ * violation deterministically.
+ */
+#include <gtest/gtest.h>
+
+#include "mc/execution.h"
+#include "mc/explorer.h"
+#include "mc/minimize.h"
+#include "mc/scenario.h"
+
+namespace rchdroid::mc {
+namespace {
+
+ExecutionResult
+replay(const Scenario &scenario, const std::vector<int> &schedule)
+{
+    ExecutionOptions options;
+    options.scenario = &scenario;
+    options.schedule = schedule;
+    options.max_choice_points = 8;
+    options.fingerprints = false;
+    return runExecution(options);
+}
+
+TEST(SeededBugTest, FoundMinimizedAndReplayedDeterministically)
+{
+    const Scenario *scenario = findScenario("seeded_gc");
+    ASSERT_NE(scenario, nullptr);
+
+    // 1. The bounded search finds the seeded bug at depth <= 8.
+    ExplorerOptions explorer_options;
+    explorer_options.scenario = scenario;
+    explorer_options.max_depth = 8;
+    const ExplorerReport report = explore(explorer_options);
+    ASSERT_FALSE(report.violations.empty());
+    bool found_gc_bug = false;
+    for (const McViolation &violation : report.violations)
+        found_gc_bug |= violation.oracle == "gc_live_async";
+    EXPECT_TRUE(found_gc_bug)
+        << "first violation: [" << report.violations.front().oracle
+        << "] " << report.violations.front().summary;
+    ASSERT_FALSE(report.first_violation_schedule.empty());
+
+    // 2. ddmin shrinks it to a handful of non-default choices.
+    MinimizeOptions minimize_options;
+    minimize_options.scenario = scenario;
+    minimize_options.schedule = report.first_violation_schedule;
+    minimize_options.max_choice_points = 8;
+    minimize_options.oracle = "gc_live_async";
+    const MinimizeResult minimized =
+        minimizeCounterexample(minimize_options);
+    ASSERT_TRUE(minimized.reproduced);
+    EXPECT_LE(minimized.non_default_choices, 6);
+    EXPECT_GE(minimized.non_default_choices, 1); // bug needs a deviation
+
+    // 3. The minimized schedule replays deterministically: two
+    //    independent executions, same oracle, same summary, same time.
+    const ExecutionResult first = replay(*scenario, minimized.schedule);
+    const ExecutionResult second = replay(*scenario, minimized.schedule);
+    ASSERT_FALSE(first.violations.empty());
+    ASSERT_FALSE(second.violations.empty());
+    EXPECT_EQ(first.violations.front().oracle, "gc_live_async");
+    EXPECT_EQ(first.violations.front().oracle,
+              second.violations.front().oracle);
+    EXPECT_EQ(first.violations.front().summary,
+              second.violations.front().summary);
+    EXPECT_EQ(first.violations.front().time,
+              second.violations.front().time);
+    EXPECT_EQ(first.steps, second.steps);
+
+    // 4. 1-minimality in action: the all-defaults schedule is clean,
+    //    so the surviving deviations really are what triggers the bug.
+    const ExecutionResult defaults = replay(*scenario, {});
+    EXPECT_TRUE(defaults.violations.empty());
+}
+
+} // namespace
+} // namespace rchdroid::mc

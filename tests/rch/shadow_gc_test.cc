@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "rch/shadow_gc.h"
 
 namespace rchdroid {
@@ -64,8 +66,10 @@ TEST_F(GcFixture, FrequencyWindowExpiresEntries)
     for (int i = 0; i < 6; ++i)
         policy.noteShadowEntered(seconds(i * 5)); // 0..25 s
     EXPECT_EQ(policy.shadowFrequency(seconds(30)), 6);
-    // At t=70 s, entries at 0 and 5 have left the 60 s window.
-    EXPECT_EQ(policy.shadowFrequency(seconds(70)), 4);
+    // At t=70 s the window is (10 s, 70 s]: entries at 0 and 5 are out,
+    // and the entry at 10 s is exactly 60 s old — also out (boundary
+    // semantics in shadow_gc.h).
+    EXPECT_EQ(policy.shadowFrequency(seconds(70)), 3);
     // At t=200 s, everything expired.
     EXPECT_EQ(policy.shadowFrequency(seconds(200)), 0);
 }
@@ -86,6 +90,54 @@ TEST_F(GcFixture, ZeroThresholdCollectsAnythingInfrequent)
     ShadowGcPolicy policy(config);
     // Age 1 ns, frequency 0: collected (the no-reuse ablation config).
     EXPECT_TRUE(policy.shouldCollect(1, 0));
+}
+
+/**
+ * Table-driven pin of the boundary semantics documented in shadow_gc.h:
+ * age exactly THRESH_T keeps, frequency exactly THRESH_F keeps, an entry
+ * exactly window-old is expired. Each row is one scenario evaluated at
+ * one instant.
+ */
+TEST_F(GcFixture, BoundarySemanticsTable)
+{
+    struct Row
+    {
+        const char *label;
+        SimTime shadow_entered_at;
+        std::vector<SimTime> entries;
+        SimTime now;
+        GcDecision expected;
+    };
+    const SimTime T = seconds(50);  // config.thresh_t
+    const SimTime K = seconds(60);  // config.frequency_window
+    const Row rows[] = {
+        {"age exactly THRESH_T keeps (young)", 0, {}, T,
+         GcDecision::KeepYoung},
+        {"age one tick past THRESH_T collects", 0, {}, T + 1,
+         GcDecision::Collect},
+        {"frequency exactly THRESH_F keeps (frequent)", 0,
+         {T + 1, T + 2, T + 3, T + 4}, T + 5, GcDecision::KeepFrequent},
+        {"frequency one below THRESH_F collects", 0, {T + 1, T + 2, T + 3},
+         T + 5, GcDecision::Collect},
+        // Four entries, but the oldest sits exactly K before `now`: it
+        // has left the (now - K, now] window, frequency drops to 3.
+        {"entry exactly window-old is expired", 0,
+         {seconds(10), seconds(40), seconds(50), seconds(60)},
+         seconds(10) + K, GcDecision::Collect},
+        // The same four entries one tick earlier: the oldest is still
+        // strictly inside the window, frequency 4 keeps.
+        {"entry one tick younger than the window counts", 0,
+         {seconds(10), seconds(40), seconds(50), seconds(60)},
+         seconds(10) + K - 1, GcDecision::KeepFrequent},
+    };
+    for (const Row &row : rows) {
+        ShadowGcPolicy policy(config);
+        for (SimTime entry : row.entries)
+            policy.noteShadowEntered(entry);
+        EXPECT_EQ(policy.decide(row.now, row.shadow_entered_at),
+                  row.expected)
+            << row.label;
+    }
 }
 
 TEST_F(GcFixture, PaperOperatingPoint)

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_trace.py's check() validator.
+
+Runs with the standard library only (unittest, no pytest): invoke as
+
+  python3 tests/tools/test_check_trace.py
+
+or through CTest, which registers it when a Python3 interpreter is
+found at configure time.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 os.pardir, os.pardir, "tools"))
+
+import check_trace  # noqa: E402
+
+
+def metadata(pid=1, tid=1):
+    """Process/thread naming metadata so lane checks stay quiet."""
+    return [
+        {"ph": "M", "name": "process_name", "pid": pid,
+         "args": {"name": "proc"}},
+        {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+         "args": {"name": "main"}},
+    ]
+
+
+def span(name, begin_ts, end_ts, pid=1, tid=1):
+    return [
+        {"ph": "B", "name": name, "pid": pid, "tid": tid, "ts": begin_ts},
+        {"ph": "E", "name": name, "pid": pid, "tid": tid, "ts": end_ts},
+    ]
+
+
+class CheckTraceTest(unittest.TestCase):
+    def check(self, events, **kwargs):
+        return check_trace.check({"traceEvents": events}, **kwargs)
+
+    def test_well_formed_trace_passes(self):
+        events = metadata() + span("dispatch", 0, 10) + span("gc", 10, 12)
+        self.assertEqual(self.check(events), [])
+
+    def test_missing_trace_events_key(self):
+        errors = check_trace.check({})
+        self.assertEqual(errors, ["traceEvents missing or not a list"])
+
+    def test_end_without_begin(self):
+        events = metadata() + [
+            {"ph": "E", "name": "dispatch", "pid": 1, "tid": 1, "ts": 5},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("E with no open B" in e for e in errors),
+                        errors)
+
+    def test_unclosed_begin(self):
+        events = metadata() + [
+            {"ph": "B", "name": "dispatch", "pid": 1, "tid": 1, "ts": 5},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("unclosed B span" in e for e in errors),
+                        errors)
+
+    def test_out_of_order_timestamps(self):
+        events = metadata() + span("late", 20, 30) + span("early", 5, 6)
+        errors = self.check(events)
+        self.assertTrue(any("ts 5 < previous 30" in e for e in errors),
+                        errors)
+
+    def test_timestamps_checked_per_lane(self):
+        # Interleaved lanes are fine as long as each lane is monotonic.
+        events = (metadata(pid=1, tid=1) + metadata(pid=1, tid=2) +
+                  span("a", 20, 30, tid=1) + span("b", 5, 6, tid=2))
+        self.assertEqual(self.check(events), [])
+
+    def test_instant_events_exempt_from_monotonicity(self):
+        # "i" events use the cost-aware mid-dispatch clock and may jump.
+        events = metadata() + [
+            {"ph": "B", "name": "dispatch", "pid": 1, "tid": 1, "ts": 10},
+            {"ph": "i", "name": "marker", "pid": 1, "tid": 1, "ts": 2},
+            {"ph": "E", "name": "dispatch", "pid": 1, "tid": 1, "ts": 12},
+        ]
+        self.assertEqual(self.check(events), [])
+
+    def test_orphaned_async_end(self):
+        events = metadata() + [
+            {"ph": "e", "name": "episode", "cat": "episode", "id": 7,
+             "pid": 1, "tid": 1, "ts": 3},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("async end" in e and "no begin" in e
+                            for e in errors), errors)
+
+    def test_async_never_ended(self):
+        events = metadata() + [
+            {"ph": "b", "name": "episode", "cat": "episode", "id": 7,
+             "pid": 1, "tid": 1, "ts": 3},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("never ended" in e for e in errors), errors)
+
+    def test_duplicate_async_begin(self):
+        events = metadata() + [
+            {"ph": "b", "name": "episode", "cat": "episode", "id": 7,
+             "pid": 1, "tid": 1, "ts": 3},
+            {"ph": "b", "name": "episode", "cat": "episode", "id": 7,
+             "pid": 1, "tid": 1, "ts": 4},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("already open" in e for e in errors), errors)
+
+    def test_unnamed_lane_reported_once(self):
+        events = span("a", 0, 1) + span("b", 1, 2)  # no metadata at all
+        errors = self.check(events)
+        lane_errors = [e for e in errors if "no thread_name" in e]
+        self.assertEqual(len(lane_errors), 1, errors)
+
+    def test_require_episodes(self):
+        events = metadata() + span("dispatch", 0, 1)
+        errors = self.check(events, require_episodes=True)
+        self.assertTrue(any("no completed 'episode'" in e for e in errors),
+                        errors)
+        closed = metadata() + [
+            {"ph": "b", "name": "rotate", "cat": "episode", "id": 1,
+             "pid": 1, "tid": 1, "ts": 0},
+            {"ph": "e", "name": "rotate", "cat": "episode", "id": 1,
+             "pid": 1, "tid": 1, "ts": 9},
+        ]
+        self.assertEqual(self.check(closed, require_episodes=True), [])
+
+    def test_non_numeric_timestamp(self):
+        events = metadata() + [
+            {"ph": "B", "name": "dispatch", "pid": 1, "tid": 1,
+             "ts": "soon"},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("non-numeric ts" in e for e in errors),
+                        errors)
+
+    def test_unknown_phase(self):
+        events = metadata() + [
+            {"ph": "Z", "name": "weird", "pid": 1, "tid": 1, "ts": 1},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("unknown phase" in e for e in errors), errors)
+
+
+if __name__ == "__main__":
+    unittest.main()

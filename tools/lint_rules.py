@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules the generic toolchain can't express.
+
+Run as ``python3 tools/lint_rules.py [REPO_ROOT]`` (default: the
+repository containing this script). Exit status is non-zero when any
+rule fires; each violation prints as ``file:line: [rule] message``.
+
+Rule 1 — interned-kinds: raw telemetry kind strings (the dotted names
+seeded into the intern table, e.g. "atms.configChange") must not appear
+in framework source outside platform/telemetry.cc. Everywhere else the
+pre-interned ``kinds::`` constants are mandatory: they are 4-byte
+handles on the hot emission path, and a typo'd raw string would silently
+intern a brand-new kind instead of failing to compile. The expected
+strings are parsed out of the kSeed table in platform/telemetry.cc, so
+the rule tracks the source of truth automatically. Comments are exempt
+(docs may spell the dotted names), and tests/ may use raw names —
+exercising the string-edge API is exactly what the telemetry tests are
+for.
+
+Rule 2 — analysis-seam: framework layers (os, view, app, ams, rch,
+platform, resources, apps, baseline) must not include analysis/ headers
+directly; the one sanctioned crossing is the os/analysis_hooks.h seam,
+whose Hooks interface (in namespace analysis::, defined by the seam
+header itself) is how the framework reports events. sim/ and mc/ are
+harness layers that own an Analyzer by design and are exempt. This
+keeps the dependency arrow pointing one way: analysis observes the
+framework, the framework never grows a compile-time dependency on its
+observer.
+"""
+
+import os
+import re
+import sys
+
+#: Framework layers rule 2 protects. sim/ and mc/ are deliberately
+#: absent: they are harness layers allowed to own an Analyzer.
+FRAMEWORK_LAYERS = ("os", "view", "app", "ams", "rch", "platform",
+                    "resources", "apps", "baseline")
+
+#: The one sanctioned framework crossing into analysis/.
+ANALYSIS_SEAM = os.path.join("src", "os", "analysis_hooks.h")
+
+#: Where the raw kind strings live (and must stay).
+KIND_HOME = os.path.join("src", "platform", "telemetry.cc")
+
+SOURCE_SUFFIXES = (".h", ".cc")
+
+
+def seeded_kind_names(repo_root):
+    """Parse the kSeed string table out of platform/telemetry.cc."""
+    path = os.path.join(repo_root, KIND_HOME)
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    match = re.search(r"kSeed\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
+    if not match:
+        raise SystemExit(f"lint_rules: no kSeed table found in {path}")
+    # Allow the empty "" seed entry so quote pairs stay aligned, then
+    # drop it: only real dotted names are guarded.
+    names = [n for n in re.findall(r'"([^"]*)"', match.group(1)) if n]
+    if not names:
+        raise SystemExit(f"lint_rules: kSeed table in {path} is empty")
+    return names
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments, preserving line numbers."""
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", blank, text)
+
+
+def source_files(repo_root):
+    src = os.path.join(repo_root, "src")
+    for directory, _, files in os.walk(src):
+        for name in sorted(files):
+            if name.endswith(SOURCE_SUFFIXES):
+                yield os.path.join(directory, name)
+
+
+def check_file(path, rel, kind_names, errors):
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+
+    layer = rel.split(os.sep)[1] if rel.startswith("src" + os.sep) else ""
+    code = strip_comments(text)
+
+    if rel != KIND_HOME:
+        for number, line in enumerate(code.splitlines(), 1):
+            for name in kind_names:
+                if f'"{name}"' in line:
+                    errors.append(
+                        f"{rel}:{number}: [interned-kinds] raw kind "
+                        f"string \"{name}\" — use the kinds:: constant "
+                        f"(raw names live only in {KIND_HOME})")
+
+    if layer in FRAMEWORK_LAYERS and rel != ANALYSIS_SEAM:
+        for number, line in enumerate(code.splitlines(), 1):
+            if re.search(r'#\s*include\s*"analysis/', line):
+                errors.append(
+                    f"{rel}:{number}: [analysis-seam] framework layer "
+                    f"\"{layer}\" includes an analysis/ header — go "
+                    f"through {ANALYSIS_SEAM}")
+
+
+def main():
+    repo_root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir))
+    kind_names = seeded_kind_names(repo_root)
+
+    errors = []
+    checked = 0
+    for path in source_files(repo_root):
+        rel = os.path.relpath(path, repo_root)
+        check_file(path, rel, kind_names, errors)
+        checked += 1
+
+    for error in errors:
+        print(f"lint_rules: {error}", file=sys.stderr)
+    if errors:
+        print(f"lint_rules: FAIL ({len(errors)} violation(s) in "
+              f"{checked} files)", file=sys.stderr)
+        return 1
+    print(f"lint_rules: OK — {checked} files, "
+          f"{len(kind_names)} interned kinds guarded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
