@@ -8,6 +8,7 @@
 #ifndef RCHDROID_AMS_ACTIVITY_RECORD_H
 #define RCHDROID_AMS_ACTIVITY_RECORD_H
 
+#include <cstdint>
 #include <string>
 
 #include "app/binder_interfaces.h"
@@ -18,7 +19,7 @@
 namespace rchdroid {
 
 /** Server-side visibility of a record's client instance. */
-enum class RecordState {
+enum class RecordState : std::uint8_t {
     Launching,
     Resumed,
     Paused,

@@ -31,7 +31,7 @@
 namespace rchdroid {
 
 /** Which runtime-change handling the framework applies. */
-enum class RuntimeChangeMode {
+enum class RuntimeChangeMode : std::uint8_t {
     /** Stock Android 10: destroy + recreate the foreground activity. */
     Restart,
     /** RCHDroid: shadow/sunny states, no restart. */

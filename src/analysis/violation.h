@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -25,7 +26,7 @@
 namespace rchdroid::analysis {
 
 /** What kind of rule a finding violates. */
-enum class ViolationKind {
+enum class ViolationKind : std::uint8_t {
     /** Unordered cross-looper accesses to the same object. */
     DataRace,
     /** A LifecycleState transition outside the Fig. 4 edge set. */

@@ -13,6 +13,7 @@
 #ifndef RCHDROID_APP_ASYNC_TASK_H
 #define RCHDROID_APP_ASYNC_TASK_H
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -32,7 +33,7 @@ class AsyncTask : public std::enable_shared_from_this<AsyncTask>
 {
   public:
     /** Execution status. */
-    enum class TaskState {
+    enum class TaskState : std::uint8_t {
         Pending,
         Running,
         Finished,

@@ -24,7 +24,7 @@ namespace rchdroid::apps {
  * with a known stock-Android save behaviour, so the Table 3/5 outcomes
  * emerge from mechanism rather than from hard-coding.
  */
-enum class CriticalState {
+enum class CriticalState : std::uint8_t {
     /** No state that a restart endangers. */
     None,
     /** EditText with an id: the default save path covers it (safe). */
@@ -55,7 +55,7 @@ enum class CriticalState {
 const char *criticalStateName(CriticalState state);
 
 /** When the app fires its AsyncTask. */
-enum class AsyncTrigger {
+enum class AsyncTrigger : std::uint8_t {
     Never,
     /** On activity creation (image/feed loading patterns). */
     OnCreate,

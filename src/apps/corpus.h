@@ -43,6 +43,15 @@ AppSpec makeBenchmarkApp(int n_image_views,
 /** The eight Table 4 apps used in the RuntimeDroid comparison. */
 std::vector<AppSpec> runtimeDroidEvalApps();
 
+/**
+ * AppSpec stand-ins for the five examples/ programs (quickstart,
+ * login_form, photo_gallery, mail_navigation, gc_tuning), carrying the
+ * same critical state and async shape their activities exhibit. The
+ * static-analysis sweep uses these so the examples get verdicts
+ * alongside the corpus tables.
+ */
+std::vector<AppSpec> exampleSpecs();
+
 } // namespace rchdroid::apps
 
 #endif // RCHDROID_APPS_CORPUS_H

@@ -1,0 +1,85 @@
+#include "apps/corpus.h"
+
+#include "apps/corpus_internal.h"
+
+namespace rchdroid::apps {
+
+namespace {
+
+using detail::nameHash;
+
+AppSpec
+exampleApp(std::string name, CriticalState critical, std::string issue)
+{
+    AppSpec spec;
+    spec.name = std::move(name);
+    spec.downloads = "example";
+    spec.issue_description = std::move(issue);
+    spec.critical = critical;
+    spec.expect_issue_stock = true;
+    spec.expect_fixed_by_rch = critical != CriticalState::CustomVariable;
+
+    const std::uint64_t h = nameHash(spec.name);
+    spec.n_text_views = 1 + static_cast<int>(h % 2);
+    spec.n_edit_texts = 1;
+    spec.n_image_views = 3;
+    spec.n_checkboxes = 1;
+    spec.n_list_views = 1;
+    spec.list_items = 5 + static_cast<int>((h >> 8) % 4);
+    spec.image_edge_px = 128;
+    spec.base_heap_bytes = 32u << 20;
+    spec.private_heap_bytes = 3u << 20;
+    spec.app_create_cost = milliseconds(4);
+    spec.app_config_cost = milliseconds(2);
+    return spec;
+}
+
+} // namespace
+
+std::vector<AppSpec>
+exampleSpecs()
+{
+    using CS = CriticalState;
+    // AppSpec stand-ins for the five examples/ programs, with the same
+    // critical state and async shape their activities exhibit; used by
+    // the static-analysis sweep so the examples get verdicts alongside
+    // the corpus tables.
+    std::vector<AppSpec> apps;
+
+    // quickstart: note-taking screen — id-less draft box.
+    apps.push_back(exampleApp("ExQuickstart", CS::EditTextNoId,
+                              "Draft note lost after restart"));
+
+    // login_form: Fig. 13(a) — half-typed name in an id-less box.
+    apps.push_back(exampleApp("ExLoginForm", CS::EditTextNoId,
+                              "Half-typed username lost after restart"));
+
+    // photo_gallery: Fig. 1 — thumbnail AsyncTask captures raw view
+    // references at start and updates them on return.
+    AppSpec gallery = exampleApp("ExPhotoGallery", CS::None,
+                                 "Async thumbnail update crashes after "
+                                 "restart");
+    gallery.async.trigger = AsyncTrigger::OnCreate;
+    gallery.async.duration = seconds(3);
+    gallery.n_image_views = 6;
+    apps.push_back(gallery);
+
+    // mail_navigation: inbox list selection across screens.
+    apps.push_back(exampleApp("ExMailNavigation", CS::ListSelection,
+                              "Selected message lost after restart"));
+
+    // gc_tuning: heavy gallery whose update task straddles changes —
+    // the shadow-GC pressure workload.
+    AppSpec tuning = exampleApp("ExGcTuning", CS::TextViewText,
+                                "Status label lost; async update "
+                                "straddles the change");
+    tuning.async.trigger = AsyncTrigger::OnButtonClick;
+    tuning.async.duration = seconds(4);
+    tuning.base_heap_bytes = 96u << 20;
+    tuning.n_image_views = 8;
+    apps.push_back(tuning);
+
+    return apps;
+}
+
+} // namespace rchdroid::apps

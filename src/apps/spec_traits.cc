@@ -1,0 +1,51 @@
+#include "apps/spec_traits.h"
+
+namespace rchdroid::apps {
+
+const CriticalStateTraits &
+criticalStateTraits(CriticalState state)
+{
+    // view_backed / has_view_id / saved_by_default / rch_migratable.
+    static const CriticalStateTraits kNone = {
+        false, false, false, false, "<none>"};
+    static const CriticalStateTraits kEditWithId = {
+        true, true, true, true, "EditText#edit_0.text"};
+    static const CriticalStateTraits kEditNoId = {
+        true, false, false, true, "EditText(no id).text"};
+    static const CriticalStateTraits kTextView = {
+        true, true, false, true, "TextView#text_0.text"};
+    static const CriticalStateTraits kList = {
+        true, true, false, true, "AbsListView#list_0.checkedItem"};
+    static const CriticalStateTraits kScroll = {
+        true, false, false, true, "ScrollView(no id).scrollY"};
+    static const CriticalStateTraits kProgress = {
+        true, true, false, true, "ProgressBar#prog_0.progress"};
+    static const CriticalStateTraits kCheckBox = {
+        true, false, false, true, "CheckBox(no id).checked"};
+    static const CriticalStateTraits kVideo = {
+        true, true, false, true, "VideoView#video_0.positionMs"};
+    static const CriticalStateTraits kCustom = {
+        false, false, false, false, "Activity.customValue"};
+
+    switch (state) {
+      case CriticalState::None: return kNone;
+      case CriticalState::EditTextWithId: return kEditWithId;
+      case CriticalState::EditTextNoId: return kEditNoId;
+      case CriticalState::TextViewText: return kTextView;
+      case CriticalState::ListSelection: return kList;
+      case CriticalState::ScrollOffsetNoId: return kScroll;
+      case CriticalState::ProgressValue: return kProgress;
+      case CriticalState::CheckBoxNoId: return kCheckBox;
+      case CriticalState::VideoPosition: return kVideo;
+      case CriticalState::CustomVariable: return kCustom;
+    }
+    return kNone;
+}
+
+bool
+coveredByAppOnSave(CriticalState state)
+{
+    return state == CriticalState::CustomVariable;
+}
+
+} // namespace rchdroid::apps

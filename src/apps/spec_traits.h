@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Spec introspection: what each CriticalState *is*, mechanically.
+ *
+ * The corpus tables describe apps by symptom ("State loss (zoom bar)");
+ * the simulator reproduces the symptom from widget mechanism (which
+ * view holds the state, whether it has an id, what the stock default
+ * save path covers, what RCHDroid's essence mapping migrates). This
+ * header exposes that mechanism as data so observers — most notably the
+ * static analyzer in src/sa/ — can reason about an AppSpec without
+ * executing it and without including any framework header.
+ *
+ * The table is the single source of truth shared with the executable
+ * semantics: view/view.h documents the default-vs-full save split these
+ * bits summarise, and tests/apps/ pins the two against each other.
+ */
+#ifndef RCHDROID_APPS_SPEC_TRAITS_H
+#define RCHDROID_APPS_SPEC_TRAITS_H
+
+#include "apps/app_spec.h"
+
+namespace rchdroid::apps {
+
+/**
+ * Mechanical description of where one CriticalState value lives and
+ * which save/migrate paths cover it.
+ */
+struct CriticalStateTraits
+{
+    /** The state lives in a view (vs a plain activity field). */
+    bool view_backed = false;
+    /** The hosting widget carries an android:id. */
+    bool has_view_id = false;
+    /**
+     * AOSP's default per-widget onSaveInstanceState covers it (needs
+     * both an id and a widget that saves the attribute — EditText text
+     * yes; TextView text, ProgressBar progress, scroll offsets no).
+     */
+    bool saved_by_default = false;
+    /**
+     * RCHDroid's full snapshot / essence mapping migrates it (the
+     * 79-LoC View patch: every widget, id-less views keyed by path).
+     */
+    bool rch_migratable = false;
+    /** Display name of the modelled location, e.g. "EditText(no id)". */
+    const char *location = "<none>";
+};
+
+/** The traits row for one CriticalState. */
+const CriticalStateTraits &criticalStateTraits(CriticalState state);
+
+/**
+ * True when an app-implemented onSaveInstanceState covers the state:
+ * only the app-private CustomVariable class — the corpus apps' on-save
+ * persists their custom field, never their view contents.
+ */
+bool coveredByAppOnSave(CriticalState state);
+
+} // namespace rchdroid::apps
+
+#endif // RCHDROID_APPS_SPEC_TRAITS_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The dynamic half of the static analyzer's differential harness.
+ *
+ * src/sa/ is forbidden (by the lint seam) from touching the simulator,
+ * so this lives in mc — the layer that already drives AndroidSystem
+ * under instrumentation. observeApp() runs the §6 methodology once for
+ * one app under one handling model (launch, seed user state, rotate
+ * mid-async-flight, settle) with a recording analyzer installed, and
+ * reduces the run to the sa::DynamicObservation record the comparator
+ * consumes. makeAppScenario() wraps the same drive as a bounded
+ * model-checking scenario so the explorer can quantify over schedules
+ * instead of the single default interleaving.
+ */
+#ifndef RCHDROID_MC_APP_SCENARIO_H
+#define RCHDROID_MC_APP_SCENARIO_H
+
+#include <cstdint>
+
+#include "mc/scenario.h"
+#include "sa/differential.h"
+
+namespace rchdroid::mc {
+
+/** Bounds for the optional model-checking leg of an observation. */
+struct ObserveOptions
+{
+    /** Also explore the app's schedule space (slower; off by default). */
+    bool run_mc = false;
+    /** Choice-point depth of the exploration. */
+    int mc_max_depth = 3;
+    /** Re-execution budget of the exploration. */
+    std::uint64_t mc_max_executions = 200;
+};
+
+/**
+ * Drive one app once under `handling` and report what happened: did the
+ * critical state survive the rotation, did the process crash, what did
+ * the dynamic analyzers flag, and (optionally) did the model checker
+ * find any schedule violating an oracle.
+ */
+sa::DynamicObservation observeApp(const apps::AppSpec &spec,
+                                  sa::HandlingModel handling,
+                                  const ObserveOptions &options = {});
+
+/**
+ * The same drive as an explorable scenario: setup installs/launches/
+ * seeds the app (and starts its button task), the explorer may inject
+ * rotations, and the final check reports a crash or lost critical state
+ * under the "final_state" oracle — but only when the static analyzer
+ * would call the app clean for this mode (`expect_clean`), so explored
+ * counterexamples line up with the soundness contract rather than with
+ * expected-dirty apps.
+ */
+Scenario makeAppScenario(const apps::AppSpec &spec,
+                         sa::HandlingModel handling, bool expect_clean);
+
+} // namespace rchdroid::mc
+
+#endif // RCHDROID_MC_APP_SCENARIO_H

@@ -39,7 +39,7 @@ namespace rchdroid::mc {
 /** One runnable continuation at a choice point. */
 struct ChoiceOption
 {
-    enum class Kind {
+    enum class Kind : std::uint8_t {
         /** Run a pending scheduler event (id below). */
         Event,
         /** Perform a configuration-change injection (kind below). */

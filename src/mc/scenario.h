@@ -26,6 +26,7 @@
 #ifndef RCHDROID_MC_SCENARIO_H
 #define RCHDROID_MC_SCENARIO_H
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -36,7 +37,7 @@
 namespace rchdroid::mc {
 
 /** A configuration change the explorer may inject at a choice point. */
-enum class InjectionKind {
+enum class InjectionKind : std::uint8_t {
     /** Toggle orientation (Configuration::rotated). */
     Rotate,
     /** Toggle `wm size 1080x1920` / `wm size reset`. */

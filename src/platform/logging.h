@@ -10,13 +10,14 @@
 #ifndef RCHDROID_PLATFORM_LOGGING_H
 #define RCHDROID_PLATFORM_LOGGING_H
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace rchdroid {
 
 /** Severity of a log record. */
-enum class LogLevel {
+enum class LogLevel : std::uint8_t {
     Debug,
     Info,
     Warn,

@@ -10,6 +10,7 @@
 #ifndef RCHDROID_PLATFORM_STATUS_H
 #define RCHDROID_PLATFORM_STATUS_H
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -17,7 +18,7 @@
 namespace rchdroid {
 
 /** Machine-readable error category. */
-enum class StatusCode {
+enum class StatusCode : std::uint8_t {
     Ok,
     NotFound,
     InvalidArgument,

@@ -18,7 +18,7 @@
 namespace rchdroid {
 
 /** How the essence mapping between the two view trees is built. */
-enum class MappingStrategy {
+enum class MappingStrategy : std::uint8_t {
     /** Paper default: hash table of view ids, O(n) build (§3.3). */
     HashTable,
     /**

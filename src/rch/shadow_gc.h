@@ -24,6 +24,7 @@
 #ifndef RCHDROID_RCH_SHADOW_GC_H
 #define RCHDROID_RCH_SHADOW_GC_H
 
+#include <cstdint>
 #include <deque>
 
 #include "platform/time.h"
@@ -32,7 +33,7 @@
 namespace rchdroid {
 
 /** Outcome of one Algorithm 1 evaluation, with the keep reason. */
-enum class GcDecision {
+enum class GcDecision : std::uint8_t {
     Collect,      ///< both thresholds passed; reclaim the shadow
     KeepYoung,    ///< shadow_time <= THRESH_T
     KeepFrequent, ///< shadow_frequency >= THRESH_F

@@ -17,13 +17,13 @@
 namespace rchdroid {
 
 /** Screen orientation. */
-enum class Orientation {
+enum class Orientation : std::uint8_t {
     Portrait,
     Landscape,
 };
 
 /** Hardware keyboard presence. */
-enum class KeyboardState {
+enum class KeyboardState : std::uint8_t {
     None,
     Attached,
 };

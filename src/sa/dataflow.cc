@@ -1,0 +1,64 @@
+#include "sa/dataflow.h"
+
+namespace rchdroid::sa {
+
+FlowSolution
+solve(const AppModel &model)
+{
+    FlowSolution solution;
+    const std::size_t n_locations = model.locations.size();
+    for (auto &row : solution.facts)
+        row.assign(n_locations, kFactBottom);
+
+    // Boundary: every tracked value is live in the foreground instance
+    // once the user has put the app into its state at Resumed.
+    auto &resumed = solution.facts[static_cast<std::size_t>(LcNode::Resumed)];
+    for (StateFact &fact : resumed)
+        fact = kLive;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++solution.iterations;
+        for (const LcEdge &edge : model.edges) {
+            const auto &from =
+                solution.facts[static_cast<std::size_t>(edge.from)];
+            auto &to = solution.facts[static_cast<std::size_t>(edge.to)];
+            for (std::size_t i = 0; i < n_locations; ++i) {
+                if (from[i] == kFactBottom)
+                    continue;
+                const StateFact incoming =
+                    transferFact(from[i], edge.effect, model.locations[i]);
+                const StateFact joined = joinFacts(to[i], incoming);
+                if (joined != to[i]) {
+                    to[i] = joined;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return solution;
+}
+
+std::string
+FlowSolution::describe(const AppModel &model) const
+{
+    std::string out;
+    for (std::size_t n = 0; n < kLcNodeCount; ++n) {
+        const auto node = static_cast<LcNode>(n);
+        if (!model.reachable(node))
+            continue;
+        out += lcNodeName(node);
+        out += ":";
+        for (std::size_t i = 0; i < model.locations.size(); ++i) {
+            out += " ";
+            out += model.locations[i].name;
+            out += "=";
+            out += stateFactName(at(node, i));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace rchdroid::sa

@@ -1,0 +1,127 @@
+#include "sa/differential.h"
+
+#include <cstdio>
+
+namespace rchdroid::sa {
+
+DifferentialOutcome
+compareOne(const AppVerdict &verdict, const DynamicObservation &observation)
+{
+    DifferentialOutcome outcome;
+    outcome.app = verdict.app;
+    outcome.handling = observation.handling;
+    outcome.static_clean = verdict.cleanFor(observation.handling);
+    outcome.dynamic_dirty = observation.dirty();
+    outcome.soundness_violation =
+        outcome.static_clean && outcome.dynamic_dirty;
+
+    if (outcome.soundness_violation) {
+        outcome.detail = verdict.app;
+        outcome.detail += " [";
+        outcome.detail += handlingModelName(observation.handling);
+        outcome.detail += "]: statically clean but dynamically";
+        if (!observation.state_preserved)
+            outcome.detail += " state-lost";
+        if (observation.crashed)
+            outcome.detail += " crashed";
+        if (observation.stale_view_mutations > 0)
+            outcome.detail += " stale-view-mutation";
+        if (observation.mc_explored && observation.mc_issue_found)
+            outcome.detail += " mc-counterexample";
+    }
+
+    // Precision: each checkable error finding for this mode is confirmed
+    // by the dynamic signal it predicts.
+    for (const Finding &finding : verdict.findings) {
+        if (finding.handling != observation.handling ||
+            finding.severity != Severity::Error ||
+            !finding.dynamically_checkable)
+            continue;
+        bool hit = false;
+        if (finding.checker == "data_loss") {
+            hit = !observation.state_preserved;
+        } else if (finding.checker == "stale_reference") {
+            hit = observation.crashed ||
+                  observation.stale_view_mutations > 0;
+        } else {
+            // Unknown checkable checker: count it against precision so a
+            // new checker cannot inflate the metric by accident.
+            hit = false;
+        }
+        if (hit) {
+            ++outcome.confirmed_findings;
+        } else {
+            ++outcome.unconfirmed_findings;
+            if (!outcome.detail.empty())
+                outcome.detail += "; ";
+            outcome.detail += "unconfirmed ";
+            outcome.detail += finding.checker;
+            outcome.detail += " on ";
+            outcome.detail += verdict.app;
+        }
+    }
+    return outcome;
+}
+
+int
+DifferentialReport::soundnessViolations() const
+{
+    int count = 0;
+    for (const DifferentialOutcome &outcome : outcomes)
+        count += outcome.soundness_violation ? 1 : 0;
+    return count;
+}
+
+int
+DifferentialReport::confirmed() const
+{
+    int count = 0;
+    for (const DifferentialOutcome &outcome : outcomes)
+        count += outcome.confirmed_findings;
+    return count;
+}
+
+int
+DifferentialReport::unconfirmed() const
+{
+    int count = 0;
+    for (const DifferentialOutcome &outcome : outcomes)
+        count += outcome.unconfirmed_findings;
+    return count;
+}
+
+double
+DifferentialReport::precision() const
+{
+    const int total = confirmed() + unconfirmed();
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(confirmed()) / total;
+}
+
+std::string
+DifferentialReport::toString() const
+{
+    std::string out;
+    for (const DifferentialOutcome &outcome : outcomes) {
+        if (!outcome.detail.empty()) {
+            out += outcome.detail;
+            out += "\n";
+        }
+    }
+    out += "comparisons=";
+    out += std::to_string(outcomes.size());
+    out += " soundness_violations=";
+    out += std::to_string(soundnessViolations());
+    out += " confirmed=";
+    out += std::to_string(confirmed());
+    out += " unconfirmed=";
+    out += std::to_string(unconfirmed());
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " precision=%.3f", precision());
+    out += buf;
+    out += "\n";
+    return out;
+}
+
+} // namespace rchdroid::sa

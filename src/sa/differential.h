@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Differential validation: static verdicts vs dynamic ground truth.
+ *
+ * This header is deliberately simulator-free (the lint seam forbids
+ * src/sa/ from seeing os/ or sim/ headers): the dynamic side is an
+ * opaque DynamicObservation record produced elsewhere (src/mc's
+ * app-scenario runner drives the real simulator, dynamic analyzers and
+ * model checker and fills one in per app × handling model). Here we
+ * only compare.
+ *
+ * Contracts (DESIGN.md §12):
+ *  - Soundness: an app the static pass calls clean for a mode must show
+ *    no dynamic issue in that mode on any explored schedule. A
+ *    violation is a bug in the analyzer's over-approximation and fails
+ *    the differential CTest.
+ *  - Precision: the fraction of dynamically-checkable error findings
+ *    that a dynamic run confirms. Reported, not asserted — a may-
+ *    analysis is allowed false alarms, but we want to see the number.
+ */
+#ifndef RCHDROID_SA_DIFFERENTIAL_H
+#define RCHDROID_SA_DIFFERENTIAL_H
+
+#include <string>
+#include <vector>
+
+#include "sa/verdict.h"
+
+namespace rchdroid::sa {
+
+/** What one dynamic run of one app under one handling model observed. */
+struct DynamicObservation
+{
+    std::string app;
+    HandlingModel handling = HandlingModel::Stock;
+    /** verifyCriticalState() after the change. */
+    bool state_preserved = true;
+    /** The app's thread crashed (uncaught UI exception). */
+    bool crashed = false;
+    /** DestroyedViewMutation violations the dynamic analyzers flagged. */
+    int stale_view_mutations = 0;
+    /** Other analyzer violations (lifecycle/data-race). */
+    int other_violations = 0;
+    /** The model checker also explored this app's schedule space. */
+    bool mc_explored = false;
+    /** ...and found some schedule violating an oracle. */
+    bool mc_issue_found = false;
+
+    /** Any user-visible issue observed dynamically. */
+    bool dirty() const
+    {
+        return !state_preserved || crashed || stale_view_mutations > 0 ||
+               (mc_explored && mc_issue_found);
+    }
+};
+
+/** The comparison of one (verdict, observation) pair. */
+struct DifferentialOutcome
+{
+    std::string app;
+    HandlingModel handling = HandlingModel::Stock;
+    bool static_clean = true;
+    bool dynamic_dirty = false;
+    /** static_clean && dynamic_dirty — the soundness contract broken. */
+    bool soundness_violation = false;
+    /** Checkable error findings the dynamic run confirmed / refuted. */
+    int confirmed_findings = 0;
+    int unconfirmed_findings = 0;
+    /** Human-readable explanation of any disagreement. */
+    std::string detail;
+};
+
+/** Compare one app's verdict with one mode's dynamic observation. */
+DifferentialOutcome compareOne(const AppVerdict &verdict,
+                               const DynamicObservation &observation);
+
+/** Aggregate over a corpus of comparisons. */
+struct DifferentialReport
+{
+    std::vector<DifferentialOutcome> outcomes;
+
+    void add(const AppVerdict &verdict,
+             const DynamicObservation &observation)
+    {
+        outcomes.push_back(compareOne(verdict, observation));
+    }
+
+    int soundnessViolations() const;
+    int confirmed() const;
+    int unconfirmed() const;
+    /** confirmed / (confirmed + unconfirmed); 1.0 when no findings. */
+    double precision() const;
+    /** Per-disagreement lines + the summary line. */
+    std::string toString() const;
+};
+
+} // namespace rchdroid::sa
+
+#endif // RCHDROID_SA_DIFFERENTIAL_H

@@ -1,0 +1,108 @@
+#include "sa/lattice.h"
+
+namespace rchdroid::sa {
+
+const char *
+stateFactName(StateFact fact)
+{
+    switch (fact & (kLive | kSaved | kShadow | kLost)) {
+      case 0: return "⊥";
+      case kLive: return "Live";
+      case kSaved: return "Saved";
+      case kLive | kSaved: return "Live|Saved";
+      case kShadow: return "Shadow";
+      case kLive | kShadow: return "Live|Shadow";
+      case kSaved | kShadow: return "Saved|Shadow";
+      case kLive | kSaved | kShadow: return "Live|Saved|Shadow";
+      case kLost: return "Lost";
+      case kLive | kLost: return "Live|Lost";
+      case kSaved | kLost: return "Saved|Lost";
+      case kLive | kSaved | kLost: return "Live|Saved|Lost";
+      case kShadow | kLost: return "Shadow|Lost";
+      case kLive | kShadow | kLost: return "Live|Shadow|Lost";
+      case kSaved | kShadow | kLost: return "Saved|Shadow|Lost";
+      default: return "Live|Saved|Shadow|Lost";
+    }
+}
+
+bool
+saveCovers(EdgeEffect effect, const StateLocation &location)
+{
+    switch (effect) {
+      case EdgeEffect::SaveDefault:
+        return (location.traits.saved_by_default &&
+                location.traits.has_view_id) ||
+               location.covered_by_on_save;
+      case EdgeEffect::SaveFull:
+        return location.traits.view_backed || location.covered_by_on_save;
+      default:
+        return false;
+    }
+}
+
+StateFact
+transferFact(StateFact fact, EdgeEffect effect,
+             const StateLocation &location)
+{
+    switch (effect) {
+      case EdgeEffect::None:
+        return fact;
+
+      case EdgeEffect::Materialize:
+        // onCreate builds fresh views holding *defaults*, not the
+        // user's value — the value only becomes Live through the
+        // Resumed boundary fact (the user put the app in a state) or a
+        // Restore/Migrate edge. Identity on the value lattice.
+        return fact;
+
+      case EdgeEffect::SaveDefault:
+      case EdgeEffect::SaveFull:
+        if ((fact & kLive) && saveCovers(effect, location))
+            return joinFacts(fact, kSaved);
+        return fact;
+
+      case EdgeEffect::DestroyViews: {
+        // The instance (views AND fields) is torn down. A value whose
+        // only residence was the live instance is lost.
+        StateFact out = static_cast<StateFact>(fact & ~kLive);
+        if ((fact & kLive) && !(fact & (kSaved | kShadow)))
+            out = joinFacts(out, kLost);
+        return out;
+      }
+
+      case EdgeEffect::EnterShadow: {
+        // The old instance is parked, not destroyed: its live value
+        // keeps existing, but in the shadow, not the foreground.
+        StateFact out = static_cast<StateFact>(fact & ~kLive);
+        if (fact & kLive)
+            out = joinFacts(out, kShadow);
+        return out;
+      }
+
+      case EdgeEffect::Restore:
+        if (fact & kSaved)
+            return joinFacts(fact, kLive);
+        return fact;
+
+      case EdgeEffect::Migrate:
+        // Essence mapping moves migratable shadow state into the sunny
+        // instance; the full-snapshot bundle restores the rest it
+        // covered. App-private fields ride neither path.
+        if (((fact & kShadow) && location.traits.rch_migratable) ||
+            (fact & kSaved))
+            return joinFacts(fact, kLive);
+        return fact;
+
+      case EdgeEffect::CollectShadow: {
+        // Shadow GC: a value that survived only in the shadow dies
+        // with it.
+        StateFact out = static_cast<StateFact>(fact & ~kShadow);
+        if ((fact & kShadow) && !(fact & (kLive | kSaved)))
+            out = joinFacts(out, kLost);
+        return out;
+      }
+    }
+    return fact;
+}
+
+} // namespace rchdroid::sa

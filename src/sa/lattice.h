@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The state-flow lattice: for every tracked location, a powerset over
+ * *where the user's value may currently live*. The analysis is a may-
+ * analysis — join is set union, facts only grow — so "Lost" is sticky:
+ * once some path can lose a value, the fact records it. That is the
+ * over-approximation the soundness contract rests on (DESIGN.md §12):
+ * an app the static pass calls clean must be clean on every dynamic
+ * schedule.
+ *
+ *   Live    the value sits in the foreground instance (view or field)
+ *   Saved   a bundle copy exists (default, full, or app onSave)
+ *   Shadow  the value survives in the parked shadow instance
+ *   Lost    some path destroyed the only copy
+ */
+#ifndef RCHDROID_SA_LATTICE_H
+#define RCHDROID_SA_LATTICE_H
+
+#include <cstdint>
+
+#include "sa/model_ir.h"
+
+namespace rchdroid::sa {
+
+/** One location's fact: a bitset over the four residences. */
+using StateFact = std::uint8_t;
+
+inline constexpr StateFact kFactBottom = 0;
+inline constexpr StateFact kLive = 1u << 0;
+inline constexpr StateFact kSaved = 1u << 1;
+inline constexpr StateFact kShadow = 1u << 2;
+inline constexpr StateFact kLost = 1u << 3;
+
+/** Join = may-union. */
+inline StateFact
+joinFacts(StateFact a, StateFact b)
+{
+    return static_cast<StateFact>(a | b);
+}
+
+/** "Live|Saved", "Lost", "⊥", ... (debug output). */
+const char *stateFactName(StateFact fact);
+
+/**
+ * Does this save effect cover this location?
+ *  - SaveDefault: stock per-widget defaults — needs an id AND a widget
+ *    whose default onSaveInstanceState saves the attribute; an
+ *    app-implemented onSaveInstanceState adds its custom field.
+ *  - SaveFull: the RCHDroid/RuntimeDroid snapshot — every view-backed
+ *    location (id-less keyed by path) plus the app's onSave field.
+ */
+bool saveCovers(EdgeEffect effect, const StateLocation &location);
+
+/** Apply one edge's effect to one location's fact (transfer function). */
+StateFact transferFact(StateFact fact, EdgeEffect effect,
+                       const StateLocation &location);
+
+} // namespace rchdroid::sa
+
+#endif // RCHDROID_SA_LATTICE_H

@@ -14,13 +14,14 @@
 #ifndef RCHDROID_VIEW_UI_EXCEPTIONS_H
 #define RCHDROID_VIEW_UI_EXCEPTIONS_H
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace rchdroid {
 
 /** Which Android failure a UiException models. */
-enum class UiFailureKind {
+enum class UiFailureKind : std::uint8_t {
     /** Dereference of a released view (java.lang.NullPointerException). */
     NullPointer,
     /** Window with a dead token (android.view.WindowLeaked). */

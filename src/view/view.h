@@ -30,7 +30,7 @@ class ViewGroup;
  * user-defined subclasses — belongs to one class, which selects its
  * migration policy.
  */
-enum class MigrationClass {
+enum class MigrationClass : std::uint8_t {
     /** Plain container/decoration; nothing beyond base state migrates. */
     Generic,
     /** TextView family: migrate via setText. */

@@ -11,6 +11,7 @@
 #ifndef RCHDROID_VIEW_VIEW_GROUP_H
 #define RCHDROID_VIEW_VIEW_GROUP_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,7 +88,7 @@ class ViewGroup : public View
 class LinearLayout : public ViewGroup
 {
   public:
-    enum class Direction { Vertical, Horizontal };
+    enum class Direction : std::uint8_t { Vertical, Horizontal };
 
     LinearLayout(std::string id, Direction direction);
 

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * data_loss checker: true positives (state the mode really loses) and
+ * true negatives (state it really keeps) for both handling models —
+ * the static mirror of the effectiveness integration tests.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sa/verdict.h"
+
+namespace rchdroid::sa {
+namespace {
+
+apps::AppSpec
+spec(apps::CriticalState critical)
+{
+    apps::AppSpec s;
+    s.name = "DataLossApp";
+    s.critical = critical;
+    return s;
+}
+
+int
+criticalErrors(const AppVerdict &verdict, HandlingModel handling)
+{
+    return static_cast<int>(std::count_if(
+        verdict.findings.begin(), verdict.findings.end(),
+        [&](const Finding &finding) {
+            return finding.checker == "data_loss" &&
+                   finding.severity == Severity::Error &&
+                   finding.handling == handling;
+        }));
+}
+
+TEST(DataLossChecker, TruePositiveIdlessEditTextOnStock)
+{
+    const AppVerdict verdict =
+        analyzeApp(spec(apps::CriticalState::EditTextNoId));
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::Stock), 1);
+    EXPECT_FALSE(verdict.stock.state_preserved);
+    // ...and RCHDroid fixes exactly this app.
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::RchDroid), 0);
+    EXPECT_TRUE(verdict.rch.state_preserved);
+}
+
+TEST(DataLossChecker, TrueNegativeIdEditTextOnStock)
+{
+    const AppVerdict verdict =
+        analyzeApp(spec(apps::CriticalState::EditTextWithId));
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::Stock), 0);
+    EXPECT_TRUE(verdict.stock.state_preserved);
+    EXPECT_TRUE(verdict.stock.clean());
+}
+
+TEST(DataLossChecker, TrueNegativeDeclaredConfigChanges)
+{
+    apps::AppSpec declared = spec(apps::CriticalState::EditTextNoId);
+    declared.handles_config_changes = true;
+    const AppVerdict verdict = analyzeApp(declared);
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::Stock), 0);
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::RchDroid), 0);
+}
+
+TEST(DataLossChecker, CustomVariableLostOnBothUnlessOnSave)
+{
+    apps::AppSpec custom = spec(apps::CriticalState::CustomVariable);
+    AppVerdict verdict = analyzeApp(custom);
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::Stock), 1);
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::RchDroid), 1);
+
+    custom.implements_on_save = true;
+    verdict = analyzeApp(custom);
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::Stock), 0);
+    EXPECT_EQ(criticalErrors(verdict, HandlingModel::RchDroid), 0);
+}
+
+TEST(DataLossChecker, FindingsCarryLocationAndAreCheckable)
+{
+    const AppVerdict verdict =
+        analyzeApp(spec(apps::CriticalState::ScrollOffsetNoId));
+    const auto finding = std::find_if(
+        verdict.findings.begin(), verdict.findings.end(),
+        [](const Finding &f) {
+            return f.checker == "data_loss" &&
+                   f.severity == Severity::Error;
+        });
+    ASSERT_NE(finding, verdict.findings.end());
+    EXPECT_FALSE(finding->location.empty());
+    EXPECT_TRUE(finding->dynamically_checkable);
+    EXPECT_NE(finding->toString().find("data_loss"), std::string::npos);
+}
+
+TEST(DataLossChecker, AuxiliaryLossIsInfoAndNotCheckable)
+{
+    // An async app's ImageView content is lost by the stock default
+    // save, but verifyCriticalState cannot observe it — the checker
+    // must demote it to an advisory.
+    apps::AppSpec async_app = spec(apps::CriticalState::None);
+    async_app.async.trigger = apps::AsyncTrigger::OnButtonClick;
+    async_app.async.cancels_on_stop = true; // isolate from stale-ref
+    const AppVerdict verdict = analyzeApp(async_app);
+    bool saw_aux = false;
+    for (const Finding &finding : verdict.findings) {
+        if (finding.checker != "data_loss")
+            continue;
+        if (finding.handling == HandlingModel::Stock) {
+            saw_aux = true;
+            EXPECT_EQ(finding.severity, Severity::Info);
+            EXPECT_FALSE(finding.dynamically_checkable);
+        }
+    }
+    EXPECT_TRUE(saw_aux);
+    // No critical state → the mode prediction stays clean.
+    EXPECT_TRUE(verdict.stock.state_preserved);
+}
+
+} // namespace
+} // namespace rchdroid::sa

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * rch_eligibility checker: every app lands in exactly one of the three
+ * classes — self-handling (declares configChanges), eligible (RCHDroid
+ * fixes it transparently), ineligible (app-private state needs app
+ * cooperation) — and the corpus class counts match the paper's tables.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/corpus.h"
+#include "sa/sweep.h"
+#include "sa/verdict.h"
+
+namespace rchdroid::sa {
+namespace {
+
+const Finding *
+eligibilityFinding(const AppVerdict &verdict)
+{
+    const auto finding = std::find_if(
+        verdict.findings.begin(), verdict.findings.end(),
+        [](const Finding &f) { return f.checker == "rch_eligibility"; });
+    return finding == verdict.findings.end() ? nullptr : &*finding;
+}
+
+apps::AppSpec
+spec(apps::CriticalState critical)
+{
+    apps::AppSpec s;
+    s.name = "EligibilityApp";
+    s.critical = critical;
+    return s;
+}
+
+TEST(RchEligibilityChecker, ViewBackedStateIsEligible)
+{
+    const AppVerdict verdict =
+        analyzeApp(spec(apps::CriticalState::EditTextNoId));
+    const Finding *finding = eligibilityFinding(verdict);
+    ASSERT_NE(finding, nullptr);
+    EXPECT_EQ(finding->severity, Severity::Info);
+    EXPECT_NE(finding->message.find("eligible"), std::string::npos);
+}
+
+TEST(RchEligibilityChecker, DeclaredAppIsSelfHandling)
+{
+    apps::AppSpec declared = spec(apps::CriticalState::EditTextNoId);
+    declared.handles_config_changes = true;
+    const AppVerdict verdict = analyzeApp(declared);
+    const Finding *finding = eligibilityFinding(verdict);
+    ASSERT_NE(finding, nullptr);
+    EXPECT_EQ(finding->severity, Severity::Info);
+    EXPECT_NE(finding->message.find("self-handling"), std::string::npos);
+}
+
+TEST(RchEligibilityChecker, CustomStateIsIneligibleUntilOnSave)
+{
+    apps::AppSpec custom = spec(apps::CriticalState::CustomVariable);
+    const AppVerdict verdict = analyzeApp(custom);
+    const Finding *finding = eligibilityFinding(verdict);
+    ASSERT_NE(finding, nullptr);
+    EXPECT_EQ(finding->severity, Severity::Warning);
+    EXPECT_NE(finding->message.find("ineligible"), std::string::npos);
+    EXPECT_NE(finding->location.find("customValue"), std::string::npos);
+
+    custom.implements_on_save = true;
+    const AppVerdict fixed_verdict = analyzeApp(custom);
+    const Finding *fixed = eligibilityFinding(fixed_verdict);
+    ASSERT_NE(fixed, nullptr);
+    EXPECT_EQ(fixed->severity, Severity::Info);
+}
+
+TEST(RchEligibilityChecker, EveryAppGetsExactlyOneClassification)
+{
+    for (const AppVerdict &verdict : sweep(fullCorpus()).verdicts) {
+        const int count = static_cast<int>(std::count_if(
+            verdict.findings.begin(), verdict.findings.end(),
+            [](const Finding &f) {
+                return f.checker == "rch_eligibility";
+            }));
+        EXPECT_EQ(count, 1) << verdict.app;
+    }
+}
+
+TEST(RchEligibilityChecker, CorpusClassCountsMatchTheTables)
+{
+    // Table 5: 26 declare android:configChanges; Table 3 + Table 5
+    // carry 6 custom-state apps without onSaveInstanceState (the class
+    // neither system fixes). Everything else RCHDroid handles
+    // transparently.
+    const SweepSummary totals = sweep(fullCorpus()).summary();
+    EXPECT_EQ(totals.self_handling, 26);
+    EXPECT_EQ(totals.rch_ineligible, 6);
+    EXPECT_EQ(totals.rch_eligible,
+              totals.apps - totals.self_handling - totals.rch_ineligible);
+}
+
+} // namespace
+} // namespace rchdroid::sa

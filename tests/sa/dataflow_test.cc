@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The lattice and the fixpoint: transfer functions, join, and the
+ * solved facts at the observation node for the semantically load-
+ * bearing spec shapes (the same shapes the dynamic crash matrix and
+ * effectiveness tests pin down at runtime).
+ */
+#include <gtest/gtest.h>
+
+#include "sa/dataflow.h"
+
+namespace rchdroid::sa {
+namespace {
+
+apps::AppSpec
+spec(apps::CriticalState critical)
+{
+    apps::AppSpec s;
+    s.name = "FlowApp";
+    s.critical = critical;
+    return s;
+}
+
+StateFact
+observedCriticalFact(const apps::AppSpec &s, HandlingModel handling)
+{
+    const AppModel model = compile(s, handling);
+    const FlowSolution flow = solve(model);
+    return flow.at(model.observationNode(), 0);
+}
+
+TEST(Lattice, JoinIsSetUnion)
+{
+    EXPECT_EQ(joinFacts(kLive, kSaved), kLive | kSaved);
+    EXPECT_EQ(joinFacts(kFactBottom, kLost), kLost);
+    EXPECT_EQ(joinFacts(kLive | kShadow, kShadow), kLive | kShadow);
+}
+
+TEST(Lattice, DestroyLosesUnsavedKeepsSaved)
+{
+    StateLocation loc;
+    loc.traits = apps::criticalStateTraits(apps::CriticalState::EditTextNoId);
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::DestroyViews, loc), kLost);
+    EXPECT_EQ(transferFact(kLive | kSaved, EdgeEffect::DestroyViews, loc),
+              kSaved);
+}
+
+TEST(Lattice, DefaultSaveCoversOnlyIdAndDefaultSavedWidgets)
+{
+    StateLocation with_id;
+    with_id.traits =
+        apps::criticalStateTraits(apps::CriticalState::EditTextWithId);
+    StateLocation no_id;
+    no_id.traits =
+        apps::criticalStateTraits(apps::CriticalState::EditTextNoId);
+    StateLocation text_view;
+    text_view.traits =
+        apps::criticalStateTraits(apps::CriticalState::TextViewText);
+
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveDefault, with_id),
+              kLive | kSaved);
+    // No id: the default path cannot key the value.
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveDefault, no_id), kLive);
+    // Id but the widget's default save skips the attribute (TextView
+    // text is not saved by default).
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveDefault, text_view),
+              kLive);
+    // The full snapshot covers all three (view-backed).
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveFull, text_view),
+              kLive | kSaved);
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveFull, no_id),
+              kLive | kSaved);
+}
+
+TEST(Lattice, OnSaveCoverageExtendsBothSavePaths)
+{
+    StateLocation custom;
+    custom.traits =
+        apps::criticalStateTraits(apps::CriticalState::CustomVariable);
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveDefault, custom), kLive);
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveFull, custom), kLive);
+    custom.covered_by_on_save = true;
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveDefault, custom),
+              kLive | kSaved);
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::SaveFull, custom),
+              kLive | kSaved);
+}
+
+TEST(Lattice, ShadowParksValuesAndGcLosesShadowOnlyValues)
+{
+    StateLocation loc;
+    loc.traits = apps::criticalStateTraits(apps::CriticalState::EditTextNoId);
+    EXPECT_EQ(transferFact(kLive, EdgeEffect::EnterShadow, loc), kShadow);
+    EXPECT_EQ(transferFact(kShadow, EdgeEffect::CollectShadow, loc), kLost);
+    EXPECT_EQ(transferFact(kShadow | kSaved, EdgeEffect::CollectShadow, loc),
+              kSaved);
+    // Migration revives migratable shadow state.
+    EXPECT_EQ(transferFact(kShadow, EdgeEffect::Migrate, loc),
+              kShadow | kLive);
+    // ...but not an app-private field.
+    StateLocation custom;
+    custom.traits =
+        apps::criticalStateTraits(apps::CriticalState::CustomVariable);
+    EXPECT_EQ(transferFact(kShadow, EdgeEffect::Migrate, custom), kShadow);
+}
+
+TEST(Dataflow, StockLosesIdlessEditTextButKeepsIdOne)
+{
+    const StateFact lost =
+        observedCriticalFact(spec(apps::CriticalState::EditTextNoId),
+                             HandlingModel::Stock);
+    EXPECT_TRUE(lost & kLost);
+    EXPECT_FALSE(lost & kLive);
+
+    const StateFact kept =
+        observedCriticalFact(spec(apps::CriticalState::EditTextWithId),
+                             HandlingModel::Stock);
+    EXPECT_TRUE(kept & kLive);
+    EXPECT_FALSE(kept & kLost);
+}
+
+TEST(Dataflow, RchPreservesEveryViewBackedLocation)
+{
+    for (const auto critical :
+         {apps::CriticalState::EditTextNoId,
+          apps::CriticalState::TextViewText,
+          apps::CriticalState::ListSelection,
+          apps::CriticalState::ScrollOffsetNoId,
+          apps::CriticalState::CheckBoxNoId,
+          apps::CriticalState::VideoPosition}) {
+        const StateFact fact =
+            observedCriticalFact(spec(critical), HandlingModel::RchDroid);
+        EXPECT_TRUE(fact & kLive) << apps::criticalStateName(critical);
+        EXPECT_FALSE(fact & kLost) << apps::criticalStateName(critical);
+    }
+}
+
+TEST(Dataflow, RchCannotReviveCustomVariableWithoutOnSave)
+{
+    const StateFact fact =
+        observedCriticalFact(spec(apps::CriticalState::CustomVariable),
+                             HandlingModel::RchDroid);
+    EXPECT_FALSE(fact & kLive);
+
+    apps::AppSpec saved = spec(apps::CriticalState::CustomVariable);
+    saved.implements_on_save = true;
+    const StateFact fixed =
+        observedCriticalFact(saved, HandlingModel::RchDroid);
+    EXPECT_TRUE(fixed & kLive);
+}
+
+TEST(Dataflow, InPlacePathLosesNothingEvenForCustomState)
+{
+    apps::AppSpec declared = spec(apps::CriticalState::CustomVariable);
+    declared.handles_config_changes = true;
+    const StateFact fact =
+        observedCriticalFact(declared, HandlingModel::Stock);
+    EXPECT_TRUE(fact & kLive);
+    EXPECT_FALSE(fact & kLost);
+}
+
+TEST(Dataflow, FixpointTerminatesQuicklyOnTheCyclicCfg)
+{
+    const AppModel model = compile(spec(apps::CriticalState::EditTextNoId),
+                                   HandlingModel::RchDroid);
+    const FlowSolution flow = solve(model);
+    // The CFG has a back edge (NextResumed -> ConfigDispatch); the may-
+    // facts still reach fixpoint in a handful of passes.
+    EXPECT_GT(flow.iterations, 0);
+    EXPECT_LE(flow.iterations, 8);
+}
+
+TEST(Dataflow, MayLoseIsMonotoneUnderTheBackEdge)
+{
+    // After the first restart the recreated instance is the foreground;
+    // a second change must not resurrect facts: once Lost is in the
+    // may-set at the observation node it stays.
+    const AppModel model = compile(spec(apps::CriticalState::EditTextNoId),
+                                   HandlingModel::Stock);
+    const FlowSolution flow = solve(model);
+    EXPECT_TRUE(flow.mayLose(LcNode::NextResumed, 0));
+    EXPECT_TRUE(flow.at(LcNode::ConfigDispatch, 0) & kLost);
+}
+
+} // namespace
+} // namespace rchdroid::sa

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Differential validation of the static analyzer against the dynamic
+ * stack: every corpus app is driven through a real rotation under both
+ * handling models with the recording analyzers attached, and the
+ * observations are compared against the static verdicts.
+ *
+ * The hard gate is soundness: an app the static pass calls clean for a
+ * mode must show no loss, no crash and no stale-view mutation when
+ * actually run in that mode. Precision (how many static warnings the
+ * dynamic run confirms) is measured and reported; the corpus is modelled
+ * closely enough that it is asserted high, but soundness is the
+ * contract.
+ */
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "mc/app_scenario.h"
+#include "sa/sweep.h"
+
+namespace rchdroid::sa {
+namespace {
+
+TEST(DifferentialUnit, SoundnessViolationIsCleanVerdictDirtyRun)
+{
+    apps::AppSpec spec;
+    spec.name = "SoundApp";
+    spec.critical = apps::CriticalState::EditTextWithId;
+    spec.expect_issue_stock = false;
+    spec.expect_fixed_by_rch = false;
+    const AppVerdict verdict = analyzeApp(spec);
+    ASSERT_TRUE(verdict.cleanFor(HandlingModel::Stock));
+
+    DynamicObservation clean;
+    clean.app = spec.name;
+    clean.handling = HandlingModel::Stock;
+    EXPECT_FALSE(compareOne(verdict, clean).soundness_violation);
+
+    DynamicObservation lost = clean;
+    lost.state_preserved = false;
+    const DifferentialOutcome outcome = compareOne(verdict, lost);
+    EXPECT_TRUE(outcome.soundness_violation);
+    EXPECT_NE(outcome.detail.find("state-lost"), std::string::npos);
+
+    DynamicObservation mutated = clean;
+    mutated.stale_view_mutations = 2;
+    EXPECT_TRUE(compareOne(verdict, mutated).soundness_violation);
+
+    DynamicObservation mc_hit = clean;
+    mc_hit.mc_explored = true;
+    mc_hit.mc_issue_found = true;
+    EXPECT_TRUE(compareOne(verdict, mc_hit).soundness_violation);
+}
+
+TEST(DifferentialUnit, PrecisionCountsConfirmedVersusRefuted)
+{
+    apps::AppSpec spec;
+    spec.name = "PrecisionApp";
+    spec.critical = apps::CriticalState::EditTextNoId;
+    const AppVerdict verdict = analyzeApp(spec);
+
+    DynamicObservation confirming;
+    confirming.handling = HandlingModel::Stock;
+    confirming.state_preserved = false;
+    DynamicObservation refuting;
+    refuting.handling = HandlingModel::Stock;
+    refuting.state_preserved = true;
+
+    DifferentialReport report;
+    report.add(verdict, confirming);
+    EXPECT_EQ(report.confirmed(), 1);
+    EXPECT_EQ(report.unconfirmed(), 0);
+    EXPECT_DOUBLE_EQ(report.precision(), 1.0);
+
+    report.add(verdict, refuting);
+    EXPECT_EQ(report.unconfirmed(), 1);
+    EXPECT_DOUBLE_EQ(report.precision(), 0.5);
+    // A refuted finding is a precision miss, not a soundness violation.
+    EXPECT_EQ(report.soundnessViolations(), 0);
+    EXPECT_NE(report.toString().find("precision=0.500"),
+              std::string::npos);
+}
+
+TEST(Differential, SoundnessHoldsAcrossTheFullCorpusUnderBothModes)
+{
+    const std::vector<apps::AppSpec> corpus = fullCorpus();
+    const SweepResult swept = sweep(corpus);
+    ASSERT_EQ(swept.verdicts.size(), corpus.size());
+
+    DifferentialReport report;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        for (const auto handling :
+             {HandlingModel::Stock, HandlingModel::RchDroid}) {
+            report.add(swept.verdicts[i],
+                       mc::observeApp(corpus[i], handling));
+        }
+    }
+
+    // The contract: zero soundness violations, ever.
+    EXPECT_EQ(report.soundnessViolations(), 0) << report.toString();
+
+    // Precision is a measurement; the spec-level model is exact enough
+    // on this corpus that every checkable error should be confirmed.
+    EXPECT_GT(report.confirmed(), 0);
+    EXPECT_GE(report.precision(), 0.95) << report.toString();
+    RecordProperty("comparisons", static_cast<int>(report.outcomes.size()));
+    RecordProperty("confirmed", report.confirmed());
+    RecordProperty("unconfirmed", report.unconfirmed());
+    std::cout << "[differential] " << report.toString();
+}
+
+TEST(Differential, ModelCheckerFindsNoCounterexampleOnCleanApps)
+{
+    // Statically-clean shapes, now quantified over schedules: bounded
+    // exploration with rotation injections must agree that no
+    // interleaving loses state or crashes.
+    const std::vector<apps::AppSpec> corpus = fullCorpus();
+    mc::ObserveOptions options;
+    options.run_mc = true;
+    options.mc_max_depth = 3;
+    options.mc_max_executions = 60;
+
+    int checked = 0;
+    for (const apps::AppSpec &spec : corpus) {
+        const bool default_safe =
+            spec.critical == apps::CriticalState::EditTextWithId &&
+            spec.async.trigger == apps::AsyncTrigger::Never &&
+            !spec.handles_config_changes;
+        const bool declared = spec.handles_config_changes &&
+                              spec.async.trigger == apps::AsyncTrigger::Never;
+        if (!default_safe && !declared)
+            continue;
+        const AppVerdict verdict = analyzeApp(spec);
+        ASSERT_TRUE(verdict.cleanFor(HandlingModel::Stock)) << spec.name;
+        const DynamicObservation observation =
+            mc::observeApp(spec, HandlingModel::Stock, options);
+        EXPECT_TRUE(observation.mc_explored);
+        EXPECT_FALSE(observation.dirty()) << spec.name;
+        if (++checked == 2)
+            break; // two exemplars keep the exploration budget sane
+    }
+    EXPECT_EQ(checked, 2);
+}
+
+TEST(Differential, ModelCheckerConfirmsThePredictedCrash)
+{
+    // The Fig. 1 gallery under stock: statically predicted to crash;
+    // the explorer must find a schedule where it actually does.
+    for (const apps::AppSpec &spec : apps::exampleSpecs()) {
+        if (spec.name != "ExPhotoGallery")
+            continue;
+        const AppVerdict verdict = analyzeApp(spec);
+        ASSERT_TRUE(verdict.stock.crash_predicted);
+        mc::ObserveOptions options;
+        options.run_mc = true;
+        options.mc_max_depth = 3;
+        options.mc_max_executions = 60;
+        const DynamicObservation observation =
+            mc::observeApp(spec, HandlingModel::Stock, options);
+        EXPECT_TRUE(observation.crashed || observation.mc_issue_found);
+        EXPECT_TRUE(observation.dirty());
+        return;
+    }
+    FAIL() << "ExPhotoGallery missing from exampleSpecs()";
+}
+
+TEST(Differential, RchDroidObservationsMatchTheFixedColumn)
+{
+    // Spot-check the table semantics end to end: RCHDroid preserves
+    // the view-backed examples and cannot save the custom-variable
+    // class — exactly what the static verdicts say.
+    for (const apps::AppSpec &spec : apps::exampleSpecs()) {
+        const AppVerdict verdict = analyzeApp(spec);
+        const DynamicObservation observation =
+            mc::observeApp(spec, HandlingModel::RchDroid);
+        EXPECT_EQ(observation.state_preserved,
+                  verdict.rch.state_preserved)
+            << spec.name;
+        EXPECT_FALSE(observation.crashed) << spec.name;
+    }
+}
+
+} // namespace
+} // namespace rchdroid::sa

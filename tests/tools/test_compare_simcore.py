@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_simcore.py.
+
+Runs with the standard library only (unittest, no pytest): invoke as
+
+  python3 tests/tools/test_compare_simcore.py
+
+or through CTest, which registers it when a Python3 interpreter is
+found at configure time.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 os.pardir, os.pardir, "tools"))
+
+import compare_simcore  # noqa: E402
+
+
+def report(workloads, hw=8, speedup=3.5, identical=True):
+    """Build a benchmark report dict: {name: events_per_sec}."""
+    return {
+        "hardware_concurrency": hw,
+        "single_thread": {
+            name: {"events_per_sec": eps}
+            for name, eps in workloads.items()
+        },
+        "parallel_matrix": {
+            "speedup": speedup, "jobs": hw,
+            "identical_to_serial": identical,
+        },
+    }
+
+
+class RelativeDeltaTest(unittest.TestCase):
+    def test_regression_is_negative(self):
+        self.assertAlmostEqual(
+            compare_simcore.relative_delta(100.0, 75.0), -0.25)
+
+    def test_improvement_is_positive(self):
+        self.assertAlmostEqual(
+            compare_simcore.relative_delta(100.0, 130.0), 0.30)
+
+    def test_zero_baseline_yields_zero_not_div_by_zero(self):
+        self.assertEqual(compare_simcore.relative_delta(0, 500.0), 0.0)
+
+
+class ClassifyWorkloadsTest(unittest.TestCase):
+    def classify(self, base, cur, threshold=0.20, overhead=None):
+        return compare_simcore.classify_workloads(
+            report(base), report(cur), threshold, overhead)
+
+    def test_regression_beyond_threshold_is_flagged(self):
+        out = self.classify({"dispatch": 1000.0}, {"dispatch": 700.0})
+        self.assertEqual([n for n, _ in out["regressed"]], ["dispatch"])
+        self.assertAlmostEqual(out["regressed"][0][1], -0.30)
+
+    def test_improvement_is_never_a_regression(self):
+        out = self.classify({"dispatch": 1000.0}, {"dispatch": 1900.0})
+        self.assertEqual(out["regressed"], [])
+        self.assertAlmostEqual(out["rows"][0][3], 0.90)
+
+    def test_regression_within_threshold_is_tolerated(self):
+        out = self.classify({"dispatch": 1000.0}, {"dispatch": 850.0})
+        self.assertEqual(out["regressed"], [])
+
+    def test_threshold_boundary_is_strict(self):
+        # Exactly -20% is NOT "more than" a 20% regression.
+        out = self.classify({"dispatch": 1000.0}, {"dispatch": 800.0})
+        self.assertEqual(out["regressed"], [])
+
+    def test_mixed_workloads_classified_independently(self):
+        out = self.classify(
+            {"dispatch": 1000.0, "gc": 500.0, "rotate": 200.0},
+            {"dispatch": 400.0, "gc": 495.0, "rotate": 320.0})
+        self.assertEqual([n for n, _ in out["regressed"]], ["dispatch"])
+        self.assertEqual(len(out["rows"]), 3)
+
+    def test_missing_workload_reported_not_crashed(self):
+        out = self.classify({"dispatch": 1000.0, "gc": 500.0},
+                            {"dispatch": 1000.0})
+        self.assertEqual(out["missing"], ["gc"])
+        self.assertEqual(len(out["rows"]), 1)
+
+    def test_overhead_threshold_is_a_tighter_second_pass(self):
+        # -10%: within the 20% regression budget but over a 5%
+        # instrumentation-overhead budget.
+        out = self.classify({"dispatch": 1000.0}, {"dispatch": 900.0},
+                            threshold=0.20, overhead=0.05)
+        self.assertEqual(out["regressed"], [])
+        self.assertEqual([n for n, _ in out["overhead_exceeded"]],
+                         ["dispatch"])
+
+    def test_no_overhead_threshold_means_no_overhead_pass(self):
+        out = self.classify({"dispatch": 1000.0}, {"dispatch": 100.0})
+        self.assertEqual(out["overhead_exceeded"], [])
+
+
+class MainTest(unittest.TestCase):
+    """End-to-end CLI behaviour through main(argv)."""
+
+    def run_main(self, argv):
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = compare_simcore.main(argv)
+        return code, stdout.getvalue()
+
+    def write(self, directory, name, payload):
+        path = os.path.join(directory, name)
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def test_too_few_arguments_prints_usage(self):
+        code, out = self.run_main(["compare_simcore.py"])
+        self.assertEqual(code, 2)
+        self.assertIn("Usage:", out)
+
+    def test_missing_baseline_is_advisory_not_a_traceback(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            current = self.write(tmp, "cur.json",
+                                 report({"dispatch": 1000.0}))
+            code, out = self.run_main(
+                ["prog", os.path.join(tmp, "absent.json"), current])
+        self.assertEqual(code, 0)
+        self.assertIn("::warning::", out)
+        self.assertIn("skipping comparison", out)
+
+    def test_unparsable_baseline_is_advisory(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = os.path.join(tmp, "bad.json")
+            with open(bad, "w") as handle:
+                handle.write("{not json")
+            current = self.write(tmp, "cur.json",
+                                 report({"dispatch": 1000.0}))
+            code, out = self.run_main(["prog", bad, current])
+        self.assertEqual(code, 0)
+        self.assertIn("skipping comparison", out)
+
+    def test_regression_warns_but_still_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self.write(tmp, "base.json",
+                              report({"dispatch": 1000.0}))
+            cur = self.write(tmp, "cur.json", report({"dispatch": 500.0}))
+            code, out = self.run_main(["prog", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("::warning::simcore events/sec regression", out)
+
+    def test_custom_threshold_flag_is_honoured(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self.write(tmp, "base.json",
+                              report({"dispatch": 1000.0}))
+            cur = self.write(tmp, "cur.json", report({"dispatch": 900.0}))
+            code, out = self.run_main(
+                ["prog", base, cur, "--threshold=0.05"])
+        self.assertEqual(code, 0)
+        self.assertIn("regression in dispatch", out)
+
+    def test_clean_run_reports_no_regressions(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self.write(tmp, "base.json",
+                              report({"dispatch": 1000.0, "gc": 500.0}))
+            cur = self.write(tmp, "cur.json",
+                             report({"dispatch": 1100.0, "gc": 500.0}))
+            code, out = self.run_main(
+                ["prog", base, cur, "--overhead-threshold=0.05"])
+        self.assertEqual(code, 0)
+        self.assertIn("no workload regressed", out)
+        self.assertIn("tracing-disabled overhead within", out)
+
+    def test_diverged_parallel_aggregate_warns(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self.write(tmp, "base.json",
+                              report({"dispatch": 1000.0}))
+            cur = self.write(tmp, "cur.json",
+                             report({"dispatch": 1000.0},
+                                    identical=False))
+            code, out = self.run_main(["prog", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("parallel aggregate diverged", out)
+
+    def test_hardware_mismatch_noted(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self.write(tmp, "base.json",
+                              report({"dispatch": 1000.0}, hw=4))
+            cur = self.write(tmp, "cur.json",
+                             report({"dispatch": 1000.0}, hw=8))
+            code, out = self.run_main(["prog", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("not directly comparable", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -14,13 +14,71 @@ registry or tracer during the timed workloads, so any regression beyond
 this bound is attributable to the disabled instrumentation (the
 thread-local load + branch at every hook site) and gets its own warning.
 
-The exit code is always 0 — micro-benchmark numbers on shared CI runners
-are advisory, not gating; the checked-in baseline is refreshed from CI
-artifacts when the numbers move for a good reason.
+The exit code is always 0 once arguments parse — micro-benchmark numbers
+on shared CI runners are advisory, not gating; the checked-in baseline
+is refreshed from CI artifacts when the numbers move for a good reason.
+A missing or unreadable baseline file is likewise advisory (a branch may
+predate the baseline): the comparison is skipped with a warning rather
+than dying in a traceback.
 """
 
 import json
 import sys
+
+
+def relative_delta(base_eps, cur_eps):
+    """(current - baseline) / baseline; 0.0 when the baseline is zero
+    (a zero-throughput baseline carries no signal to regress against)."""
+    if not base_eps:
+        return 0.0
+    return (cur_eps - base_eps) / base_eps
+
+
+def classify_workloads(baseline, current, threshold,
+                       overhead_threshold=None):
+    """Compare single-thread workloads.
+
+    Returns a dict with:
+      rows               [(name, base_eps, cur_eps, delta)] in baseline
+                         order, for printing;
+      regressed          [(name, delta)] beyond -threshold (strictly);
+      overhead_exceeded  [(name, delta)] beyond -overhead_threshold, or
+                         [] when no overhead threshold was given;
+      missing            [name] present in baseline, absent from run.
+
+    Improvements (delta >= 0) and regressions within the threshold are
+    never classified — the comparison is one-sided by design.
+    """
+    rows = []
+    regressed = []
+    overhead_exceeded = []
+    missing = []
+    for name, base in baseline.get("single_thread", {}).items():
+        cur = current.get("single_thread", {}).get(name)
+        if cur is None:
+            missing.append(name)
+            continue
+        base_eps = base.get("events_per_sec", 0)
+        cur_eps = cur.get("events_per_sec", 0)
+        delta = relative_delta(base_eps, cur_eps)
+        rows.append((name, base_eps, cur_eps, delta))
+        if delta < -threshold:
+            regressed.append((name, delta))
+        if overhead_threshold is not None and delta < -overhead_threshold:
+            overhead_exceeded.append((name, delta))
+    return {"rows": rows, "regressed": regressed,
+            "overhead_exceeded": overhead_exceeded, "missing": missing}
+
+
+def load_report(path, role):
+    """Load one report; None (with a warning) when absent/unparsable."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"::warning::simcore {role} {path} unusable ({exc}) — "
+              f"skipping comparison")
+        return None
 
 
 def main(argv):
@@ -34,10 +92,10 @@ def main(argv):
             threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--overhead-threshold="):
             overhead_threshold = float(arg.split("=", 1)[1])
-    with open(argv[1]) as f:
-        baseline = json.load(f)
-    with open(argv[2]) as f:
-        current = json.load(f)
+    baseline = load_report(argv[1], "baseline")
+    current = load_report(argv[2], "run")
+    if baseline is None or current is None:
+        return 0
 
     base_hw = baseline.get("hardware_concurrency")
     cur_hw = current.get("hardware_concurrency")
@@ -45,22 +103,13 @@ def main(argv):
         print(f"note: baseline recorded on {base_hw} core(s), this run on "
               f"{cur_hw} — absolute numbers are not directly comparable")
 
-    regressed = []
-    overhead_exceeded = []
-    for name, base in baseline.get("single_thread", {}).items():
-        cur = current.get("single_thread", {}).get(name)
-        if cur is None:
-            print(f"::warning::simcore workload '{name}' missing from run")
-            continue
-        base_eps = base.get("events_per_sec", 0)
-        cur_eps = cur.get("events_per_sec", 0)
-        delta = (cur_eps - base_eps) / base_eps if base_eps else 0.0
+    outcome = classify_workloads(baseline, current, threshold,
+                                 overhead_threshold)
+    for name in outcome["missing"]:
+        print(f"::warning::simcore workload '{name}' missing from run")
+    for name, base_eps, cur_eps, delta in outcome["rows"]:
         print(f"{name}: {cur_eps:,.0f} events/s "
               f"(baseline {base_eps:,.0f}, {delta:+.1%})")
-        if delta < -threshold:
-            regressed.append((name, delta))
-        if overhead_threshold is not None and delta < -overhead_threshold:
-            overhead_exceeded.append((name, delta))
 
     matrix = current.get("parallel_matrix", {})
     print(f"parallel matrix: speedup {matrix.get('speedup', 0):.2f}x at "
@@ -69,19 +118,19 @@ def main(argv):
     if matrix.get("identical_to_serial") is not True:
         print("::warning::simcore parallel aggregate diverged from serial")
 
-    for name, delta in regressed:
+    for name, delta in outcome["regressed"]:
         print(f"::warning::simcore events/sec regression in {name}: "
               f"{delta:+.1%} vs baseline (threshold -{threshold:.0%})")
-    if not regressed:
+    if not outcome["regressed"]:
         print(f"no workload regressed more than {threshold:.0%}")
 
     if overhead_threshold is not None:
-        for name, delta in overhead_exceeded:
+        for name, delta in outcome["overhead_exceeded"]:
             print(f"::warning::tracing-disabled overhead on {name}: "
                   f"{delta:+.1%} vs baseline exceeds the "
                   f"{overhead_threshold:.0%} budget for compiled-in but "
                   f"uninstalled instrumentation")
-        if not overhead_exceeded:
+        if not outcome["overhead_exceeded"]:
             print(f"tracing-disabled overhead within "
                   f"{overhead_threshold:.0%} on every workload")
     return 0
