@@ -28,6 +28,7 @@
 #include "os/scheduler.h"
 #include "platform/logging.h"
 #include "platform/metrics.h"
+#include "platform/tracing.h"
 #include "sim/dumpsys.h"
 
 namespace rchdroid::bench {
@@ -255,13 +256,19 @@ runMatrix(int jobs)
  * rotation workload in its own metrics scope *after* the timed
  * workloads, so the timed sections run with no registry installed —
  * exactly the configuration whose overhead the baseline comparison
- * gates.
+ * gates. A tracer is installed too: metricsJson() then splices the
+ * critical-path "profile" section (per-segment episode latencies) that
+ * compare_simcore.py gates against the checked-in baseline — sim time
+ * is virtual, so those numbers are deterministic, unlike the wall-clock
+ * events/sec above.
  */
 std::string
 collectMetricsJson()
 {
     metrics::MetricsRegistry registry;
     metrics::ScopedMetricsRegistry guard(&registry);
+    trace::Tracer tracer;
+    trace::ScopedTracer tracer_guard(&tracer);
     sim::AndroidSystem system(optionsFor(RuntimeChangeMode::RchDroid));
     const auto spec = apps::makeBenchmarkApp(8);
     system.install(spec);

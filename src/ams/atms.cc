@@ -84,9 +84,24 @@ Atms::callClient(const std::string &process, std::function<void()> fn,
     SimDuration departure_delay = 0;
     if (looper_.isDispatching())
         departure_delay = looper_.currentCostEnd() - scheduler_.now();
+    std::uint64_t causal_id = 0;
+#if RCHDROID_TRACING
+    // Flow-start at the binder send site: the client-side message this
+    // transaction enqueues inherits the id through the scheduler slot
+    // (pending causal), so the edge spans the whole server->client hop
+    // and the binder latency shows up as queue wait.
+    if (trace::Tracer *tracer = trace::Tracer::current()) {
+        if (looper_.isDispatching()) {
+            causal_id = tracer->newFlowId();
+            tracer->flowAt(trace::Phase::kFlowStart, tracer->currentLane(),
+                           tracer->now(), causal_id, "binder",
+                           /*bind_enclosing=*/false);
+        }
+    }
+#endif
     scheduler_.schedule(departure_delay +
                             client_latency_.oneWay(payload_bytes),
-                        std::move(fn));
+                        std::move(fn), EventLabel{}, causal_id);
 }
 
 ActivityRecord &

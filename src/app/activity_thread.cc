@@ -350,13 +350,15 @@ ActivityThread::postAppCallback(std::function<void()> fn, SimDuration cost,
 
 void
 ActivityThread::postAppCallbackAt(SimTime when, std::function<void()> fn,
-                                  SimDuration cost, std::string tag)
+                                  SimDuration cost, std::string tag,
+                                  std::uint64_t causal_id)
 {
     Message msg;
     msg.callback = [this, fn = std::move(fn)] { runAppCode(fn); };
     msg.when = when;
     msg.cost = cost;
     msg.tag = tag.empty() ? "appCallback" : std::move(tag);
+    msg.causal_id = causal_id;
     ui_looper_.enqueue(std::move(msg));
 }
 

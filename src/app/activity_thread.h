@@ -165,9 +165,15 @@ class ActivityThread final : public ActivityClient
     /** Post crash-guarded app code to the UI looper. */
     void postAppCallback(std::function<void()> fn, SimDuration cost = 0,
                          std::string tag = {});
-    /** Same, delivered no earlier than the absolute time `when`. */
+    /**
+     * Same, delivered no earlier than the absolute time `when`. A
+     * non-zero `causal_id` threads an existing tracer flow through the
+     * message (AsyncTask's result hop reuses its execute-site flow id);
+     * the producer-side flow step is emitted by Looper::enqueue.
+     */
     void postAppCallbackAt(SimTime when, std::function<void()> fn,
-                           SimDuration cost = 0, std::string tag = {});
+                           SimDuration cost = 0, std::string tag = {},
+                           std::uint64_t causal_id = 0);
     /** @} */
 
     /** @name Async-task bookkeeping

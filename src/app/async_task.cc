@@ -4,7 +4,9 @@
 
 #include "app/activity.h"
 #include "app/activity_thread.h"
+#include "os/looper.h"
 #include "platform/logging.h"
+#include "platform/tracing.h"
 
 namespace rchdroid {
 
@@ -24,8 +26,24 @@ AsyncTask::execute(SimDuration background_duration,
     state_ = TaskState::Running;
     auto self = shared_from_this();
     thread_.noteAsyncStarted(self);
-    thread_.workerLooper().post(
-        [self, on_post = std::move(on_post_execute), ui_cost] {
+    // One tracer flow id follows the whole task: flow-start here at the
+    // execute site, a step at the worker dispatch (causal_continues), a
+    // step at the result post, and the flow-end at onPostExecute.
+    std::uint64_t causal_id = 0;
+#if RCHDROID_TRACING
+    if (trace::Tracer *tracer = trace::Tracer::current()) {
+        if (Looper *producer = Looper::current();
+            producer != nullptr && producer->isDispatching()) {
+            causal_id = tracer->newFlowId();
+            tracer->flowAt(trace::Phase::kFlowStart, tracer->currentLane(),
+                           tracer->now(), causal_id, name_,
+                           /*bind_enclosing=*/false);
+        }
+    }
+#endif
+    Message work;
+    work.callback =
+        [self, on_post = std::move(on_post_execute), ui_cost, causal_id] {
             // The background work occupies the worker thread until the
             // cost window closes; the result message is delivered to the
             // UI thread at that moment, like AsyncTask's internal
@@ -46,9 +64,14 @@ AsyncTask::execute(SimDuration background_duration,
                     on_post();
                     self->thread_.noteAsyncFinished(self);
                 },
-                ui_cost, self->name_ + ".onPostExecute");
-        },
-        0, background_duration, name_ + ".doInBackground");
+                ui_cost, self->name_ + ".onPostExecute", causal_id);
+        };
+    work.when = thread_.workerLooper().now();
+    work.cost = background_duration;
+    work.tag = name_ + ".doInBackground";
+    work.causal_id = causal_id;
+    work.causal_continues = true;
+    thread_.workerLooper().enqueue(std::move(work));
 }
 
 void

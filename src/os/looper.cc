@@ -34,6 +34,39 @@ Looper::enqueue(Message msg)
     msg.analysis_id = ++next_msg_id_;
     if (auto *hooks = analysis::hooks())
         hooks->onMessageSend(*this, msg.analysis_id);
+#if RCHDROID_TRACING
+    // Producer side of the causal flow edge. Three cases:
+    //  - posted from inside some looper's dispatch: fresh flow id, and
+    //    the flow-start lands at the post site inside the producer's
+    //    dispatch span (cost-aware clock);
+    //  - pre-set id (explicitly threaded chain, e.g. AsyncTask): the
+    //    producer already emitted its own start, mark the hand-off with
+    //    a step when we are inside a span to land it in;
+    //  - posted from a raw scheduler event carrying a pending causal id
+    //    (a binder leg): inherit silently — the edge spans the binder
+    //    send site to this message's dispatch, so the binder latency
+    //    counts as queue wait.
+    if (trace::Tracer *tracer = trace::Tracer::current()) {
+        Looper *producer = current();
+        const bool in_dispatch = producer != nullptr &&
+                                 producer->isDispatching();
+        if (msg.causal_id != 0) {
+            if (in_dispatch)
+                tracer->flowAt(trace::Phase::kFlowStep, tracer->currentLane(),
+                               tracer->now(), msg.causal_id,
+                               msg.tag.empty() ? "post" : msg.tag,
+                               /*bind_enclosing=*/false);
+        } else if (in_dispatch) {
+            msg.causal_id = tracer->newFlowId();
+            tracer->flowAt(trace::Phase::kFlowStart, tracer->currentLane(),
+                           tracer->now(), msg.causal_id,
+                           msg.tag.empty() ? "post" : msg.tag,
+                           /*bind_enclosing=*/false);
+        } else if (tracer->pendingCausal() != 0) {
+            msg.causal_id = tracer->pendingCausal();
+        }
+    }
+#endif
     queue_.enqueue(std::move(msg));
     metrics::observe(metrics::Histogram::kQueueDepth,
                      static_cast<double>(queue_.size()));
@@ -147,6 +180,17 @@ Looper::onWakeup()
         tracer->beginOnAt(tracer->currentLane(), current_start_,
                           current_tag_.empty() ? "message" : current_tag_,
                           "dispatch");
+        // Consumer side of the causal edge: bound to the dispatch span
+        // just opened, at its begin, so the profiler reads queue wait
+        // as (consumer span begin - producer flow ts).
+        if (msg->causal_id != 0) {
+            tracer->flowAt(msg->causal_continues ? trace::Phase::kFlowStep
+                                                 : trace::Phase::kFlowEnd,
+                           tracer->currentLane(), current_start_,
+                           msg->causal_id,
+                           current_tag_.empty() ? "message" : current_tag_,
+                           /*bind_enclosing=*/true);
+        }
     }
 #endif
 

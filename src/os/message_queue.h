@@ -52,6 +52,22 @@ struct Message
      * MessageQueue::enqueue, meaningless outside the queue.
      */
     std::uint64_t seq = 0;
+    /**
+     * Tracer flow id stitching this message's post site to its dispatch
+     * begin (trace::Tracer::newFlowId); 0 = no causal edge. Travels in
+     * the payload slab with the rest of the message, so slot recycling
+     * can never attach an edge to a slot's new occupant. Assigned by
+     * Looper::enqueue when a tracer is installed; pre-set by explicitly
+     * threaded chains (AsyncTask), whose flow-start the producer already
+     * emitted itself.
+     */
+    std::uint64_t causal_id = 0;
+    /**
+     * True when the chain continues past this message's dispatch (the
+     * consumer emits a flow step, not a flow end) — AsyncTask's worker
+     * hop, whose result hop reuses the same flow id.
+     */
+    bool causal_continues = false;
 };
 
 /**

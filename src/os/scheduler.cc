@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "platform/logging.h"
+#include "platform/tracing.h"
 
 namespace rchdroid {
 
@@ -16,15 +17,15 @@ constexpr std::uint64_t kMaxEventsPerRun = 200'000'000;
 
 EventId
 SimScheduler::schedule(SimDuration delay, std::function<void()> fn,
-                       EventLabel label)
+                       EventLabel label, std::uint64_t causal_id)
 {
     RCH_ASSERT(delay >= 0, "negative delay ", delay);
-    return scheduleAt(now_ + delay, std::move(fn), label);
+    return scheduleAt(now_ + delay, std::move(fn), label, causal_id);
 }
 
 EventId
 SimScheduler::scheduleAt(SimTime when, std::function<void()> fn,
-                         EventLabel label)
+                         EventLabel label, std::uint64_t causal_id)
 {
     RCH_ASSERT(when >= now_, "scheduleAt in the past: when=", when,
                " now=", now_);
@@ -36,9 +37,10 @@ SimScheduler::scheduleAt(SimTime when, std::function<void()> fn,
         free_slots_.pop_back();
         slots_[slot].fn = std::move(fn);
         slots_[slot].label = label;
+        slots_[slot].causal_id = causal_id;
     } else {
         slot = static_cast<std::uint32_t>(slots_.size());
-        slots_.push_back(EventSlot{std::move(fn), label});
+        slots_.push_back(EventSlot{std::move(fn), label, causal_id});
     }
     heap_.push_back(HeapEntry{when, next_seq_++, id, slot});
     std::push_heap(heap_.begin(), heap_.end(), laterThan);
@@ -103,6 +105,7 @@ SimScheduler::dropCancelledHead()
         // keeps alive, exactly like the old pop-and-discard.
         slots_[slot].fn = nullptr;
         slots_[slot].label = EventLabel{};
+        slots_[slot].causal_id = 0;
         releaseSlot(slot);
     }
     if (heap_.empty()) {
@@ -117,9 +120,27 @@ SimScheduler::dispatchSlot(std::uint32_t slot, SimTime when)
 {
     std::function<void()> fn = std::move(slots_[slot].fn);
     slots_[slot].label = EventLabel{};
+    const std::uint64_t causal_id = slots_[slot].causal_id;
+    slots_[slot].causal_id = 0;
     releaseSlot(slot);
     now_ = when;
     ++executed_;
+#if RCHDROID_TRACING
+    if (causal_id != 0) {
+        if (trace::Tracer *tracer = trace::Tracer::current()) {
+            // Carry the flow id across the raw hop: any message a
+            // looper accepts inside this callback inherits it (see
+            // Looper::enqueue). Save/restore keeps nesting safe.
+            const std::uint64_t previous = tracer->pendingCausal();
+            tracer->setPendingCausal(causal_id);
+            fn();
+            tracer->setPendingCausal(previous);
+            return;
+        }
+    }
+#else
+    (void)causal_id;
+#endif
     fn();
 }
 

@@ -67,13 +67,22 @@ class SimScheduler
     /** Current virtual time. */
     SimTime now() const { return now_; }
 
-    /** Schedule fn to run after delay (>= 0) from now. */
+    /**
+     * Schedule fn to run after delay (>= 0) from now.
+     *
+     * A non-zero `causal_id` (a trace::Tracer flow id) rides in the
+     * event's slab slot and is installed as the tracer's pending causal
+     * for the duration of the callback: a Looper message enqueued from
+     * inside it inherits the id, stitching a raw-scheduler hop (the
+     * binder legs) into the cross-thread flow graph. Opt-in and
+     * explicit — wakeups and other infrastructure events pass 0.
+     */
     EventId schedule(SimDuration delay, std::function<void()> fn,
-                     EventLabel label = {});
+                     EventLabel label = {}, std::uint64_t causal_id = 0);
 
     /** Schedule fn at an absolute virtual time (>= now). */
     EventId scheduleAt(SimTime when, std::function<void()> fn,
-                       EventLabel label = {});
+                       EventLabel label = {}, std::uint64_t causal_id = 0);
 
     /**
      * Cancel a pending event.
@@ -153,6 +162,10 @@ class SimScheduler
     {
         std::function<void()> fn;
         EventLabel label;
+        /** Flow id threaded across this event (see schedule()); 0=none.
+         *  Cleared on dispatch and cancellation so a recycled slot can
+         *  never leak a stale causal edge to its next occupant. */
+        std::uint64_t causal_id = 0;
     };
 
     /** Heap predicate: the os/dispatch_order.h (when, seq) contract. */

@@ -86,6 +86,14 @@ Tracer::asyncEnd(const char *cat, std::uint64_t id, SimTime ts,
                    cat});
 }
 
+void
+Tracer::flowAt(Phase phase, std::uint32_t lane, SimTime ts, std::uint64_t id,
+               const std::string &name, bool bind_enclosing, const char *cat)
+{
+    events_.push_back(
+        TraceEvent{phase, lane, ts, id, name, {}, cat, bind_enclosing});
+}
+
 namespace {
 
 /** JSON string escaping: quotes, backslashes, control characters. */
@@ -166,8 +174,12 @@ Tracer::toChromeJson() const
             os << ",\"name\":\"" << jsonEscape(event.name) << "\"";
         os << ",\"cat\":\"" << event.cat << "\"";
         if (event.phase == Phase::kAsyncBegin ||
-            event.phase == Phase::kAsyncEnd)
+            event.phase == Phase::kAsyncEnd ||
+            event.phase == Phase::kFlowStart ||
+            event.phase == Phase::kFlowStep || event.phase == Phase::kFlowEnd)
             os << ",\"id\":" << event.async_id;
+        if (event.bind_enclosing)
+            os << ",\"bp\":\"e\""; // bind to the enclosing slice
         if (event.phase == Phase::kInstant)
             os << ",\"s\":\"t\""; // thread-scoped instant
         if (!event.arg.empty())

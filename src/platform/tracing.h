@@ -12,8 +12,10 @@
  *    monotonic;
  *  - a "thread" lane (tid) per Looper, plus a default lane for harness
  *    code running outside any dispatch;
- *  - B/E duration events, i instants, and b/e async spans that follow a
- *    config-change episode across Looper hops.
+ *  - B/E duration events, i instants, b/e async spans that follow a
+ *    config-change episode across Looper hops, and s/t/f flow events
+ *    stitching cross-thread causal edges (post site -> dispatch begin)
+ *    that the src/profiling/ critical-path analyzer walks backwards.
  *
  * Timestamps are virtual nanoseconds, serialised as microseconds the
  * way chrome://tracing and Perfetto expect. Sim time does not advance
@@ -51,6 +53,9 @@ enum class Phase : char {
     kInstant = 'i',
     kAsyncBegin = 'b',
     kAsyncEnd = 'e',
+    kFlowStart = 's',
+    kFlowStep = 't',
+    kFlowEnd = 'f',
 };
 
 /** One recorded event; serialised by Tracer::toChromeJson(). */
@@ -61,13 +66,20 @@ struct TraceEvent
     std::uint32_t lane = 0;
     /** Virtual time, nanoseconds. */
     SimTime ts = 0;
-    /** Pairing id for async (b/e) events. */
+    /** Pairing id for async (b/e) and flow (s/t/f) events. */
     std::uint64_t async_id = 0;
     std::string name;
     /** Optional detail, serialised as args.detail. */
     std::string arg;
-    /** Static category string ("sim", "rch", "episode", ...). */
+    /** Static category string ("sim", "rch", "episode", "flow", ...). */
     const char *cat = "sim";
+    /**
+     * Flow events only: bind to the *enclosing* slice (`"bp":"e"`).
+     * Set on consumer-side steps emitted at dispatch begin, so the
+     * profiler can tell an incoming edge (the message that caused this
+     * dispatch) from an outgoing one (a post made during it).
+     */
+    bool bind_enclosing = false;
 };
 
 /**
@@ -129,8 +141,42 @@ class Tracer
     void asyncEnd(const char *cat, std::uint64_t id, SimTime ts,
                   std::string arg = {});
 
+    /** @name Causal flow edges (s/t/f), walked by src/profiling/.
+     *
+     * A flow id names one cross-thread hand-off chain. The producer
+     * emits kFlowStart at the post site (inside its dispatch span); the
+     * consumer emits kFlowStep/kFlowEnd with bind_enclosing at its
+     * dispatch begin. Id 0 is reserved for "no causal edge".
+     * @{
+     */
+    std::uint64_t newFlowId() { return next_flow_id_++; }
+    void flowAt(Phase phase, std::uint32_t lane, SimTime ts, std::uint64_t id,
+                const std::string &name, bool bind_enclosing,
+                const char *cat = "flow");
+    /**
+     * Ambient causal id carried across a raw scheduler hop (the binder
+     * legs, which bypass MessageQueue): SimScheduler sets it around an
+     * event whose slot carries a causal id, and Looper::enqueue lets a
+     * message posted under it inherit the id silently — the flow-start
+     * was already emitted at the binder send site.
+     */
+    std::uint64_t pendingCausal() const { return pending_causal_; }
+    void setPendingCausal(std::uint64_t id) { pending_causal_ = id; }
+    /** @} */
+
     std::size_t eventCount() const { return events_.size(); }
     const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** One trace lane: a (pid, tid) pair with its display name. */
+    struct Lane
+    {
+        std::uint32_t pid = 0;
+        std::uint32_t tid = 0;
+        std::string name;
+    };
+
+    /** All lanes, indexed by TraceEvent::lane (src/profiling/ input). */
+    const std::vector<Lane> &lanes() const { return lanes_; }
 
     /**
      * Serialise as {"traceEvents": [...], "displayTimeUnit": "ms"} with
@@ -151,13 +197,6 @@ class Tracer
         current_ = tracer;
     }
 
-    struct Lane
-    {
-        std::uint32_t pid = 0;
-        std::uint32_t tid = 0;
-        std::string name;
-    };
-
     std::vector<TraceEvent> events_;
     std::vector<Lane> lanes_;
     /** (pid, lane name) -> index into lanes_. */
@@ -168,6 +207,9 @@ class Tracer
     std::uint32_t current_pid_ = 0;
     std::uint32_t current_lane_ = 0;
     std::uint32_t next_pid_ = 0;
+    /** Flow ids start at 1: 0 means "no causal edge" everywhere. */
+    std::uint64_t next_flow_id_ = 1;
+    std::uint64_t pending_causal_ = 0;
 
     /**
      * Thread-local install, like Looper::current_: each parallel bench

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Post-hoc critical-path extraction over causal flow events.
+ *
+ * The tracer records three ingredients (see platform/tracing.h):
+ *  - B/E dispatch spans per Looper lane, with nested framework spans
+ *    (rch.initLaunch, app.performLaunch, gc.*, ...) inside them;
+ *  - b/e async endpoints per config-change handling episode; and
+ *  - s/t/f flow events: a producer-side event at each post/binder send
+ *    site and a bind_enclosing consumer-side event at the dispatch that
+ *    the message caused.
+ *
+ * This module replays those events and, for every *completed* episode,
+ * walks the causal chain backwards from the dispatch that closed the
+ * episode: dispatch span -> consumer flow edge -> producer event ->
+ * enclosing producer span -> ... until the episode start. The result is
+ * a CriticalPath whose segments exactly tile [begin, end] — queue-wait
+ * residues between a producer's send and the consumer's dispatch begin,
+ * and dispatch time subdivided by the nested spans it ran (so GC,
+ * migration and launch work get separate attribution).
+ *
+ * One subtlety: sim time freezes while a callback runs, but the tracer
+ * clock is cost-aware, so a producer's send timestamp can exceed the
+ * consumer's dispatch-begin timestamp (a zero-delay post delivered
+ * "under" the still-accumulating producer cost). The walk clamps each
+ * hand-off to min(producer ts, consumer begin) so segments never go
+ * negative and the tiling stays exact.
+ */
+#ifndef RCHDROID_PROFILING_CRITICAL_PATH_H
+#define RCHDROID_PROFILING_CRITICAL_PATH_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "platform/time.h"
+
+namespace rchdroid::trace {
+class Tracer;
+}
+
+namespace rchdroid::profiling {
+
+/** What a critical-path segment's time was spent on. */
+enum class SegmentKind : std::uint8_t {
+    /** Framework/app code running inside a dispatch. */
+    kDispatch,
+    /** Message sat in a queue (includes binder latency). */
+    kQueueWait,
+    /** Garbage-collection work (gc.* spans). */
+    kGc,
+    /** Shadow/migration work (rch.flipSync, rch.buildMapping, ...). */
+    kMigration,
+    /** Activity launch/relaunch work. */
+    kLaunch,
+    /** Residue before the first attributable span. */
+    kIdle,
+};
+
+/** Stable lowercase name, used in dumpsys and JSON output. */
+const char *segmentKindName(SegmentKind kind);
+
+/** One contiguous slice of an episode's critical path. */
+struct Segment
+{
+    SegmentKind kind = SegmentKind::kDispatch;
+    /** Attribution label, "span-name@lane" or "queue-wait@lane". */
+    std::string label;
+    SimTime begin = 0;
+    SimTime end = 0;
+
+    double ms() const { return toMillisF(end - begin); }
+};
+
+/** The longest-latency causal chain of one completed episode. */
+struct CriticalPath
+{
+    /** Episode ordinal in extraction order (trace order). */
+    std::uint64_t episode = 0;
+    /** Episode endpoints: config change arrival -> activity resumed. */
+    SimTime begin = 0;
+    SimTime end = 0;
+    /** Chronological segments; they exactly tile [begin, end]. */
+    std::vector<Segment> segments;
+
+    double totalMs() const { return toMillisF(end - begin); }
+    /** Sum of segment durations — equals totalMs() by construction. */
+    double segmentSumMs() const;
+    /** The largest segment, or null if the path is empty. */
+    const Segment *dominant() const;
+};
+
+/**
+ * Self-contained analyzer input: a flat event list in emission order
+ * plus lane display names. Buildable from a live Tracer (fromTracer)
+ * or from a trace JSON on disk (profiling/trace_reader.h).
+ */
+struct ProfileEvent
+{
+    char phase = 'i';
+    std::uint32_t lane = 0;
+    SimTime ts = 0;
+    /** Pairing id for async (b/e) and flow (s/t/f) phases. */
+    std::uint64_t id = 0;
+    bool bind_enclosing = false;
+    std::string name;
+    std::string cat;
+    /** args.detail — "aborted" marks an abandoned episode end. */
+    std::string arg;
+};
+
+struct ProfileInput
+{
+    std::vector<ProfileEvent> events;
+    /** Display names indexed by ProfileEvent::lane. */
+    std::vector<std::string> lanes;
+};
+
+/** Snapshot a live tracer's event stream into analyzer form. */
+ProfileInput fromTracer(const trace::Tracer &tracer);
+
+/**
+ * Extract one CriticalPath per completed (non-aborted) episode, in
+ * trace order. Episodes are paired positionally — an asyncBegin binds
+ * to the *next* asyncEnd with the same (cat, id) — because sequential
+ * AndroidSystems in one trace reuse episode ids.
+ */
+std::vector<CriticalPath> extractCriticalPaths(const ProfileInput &input);
+
+/** Per-label aggregate across every extracted path. */
+struct SegmentStat
+{
+    SegmentKind kind = SegmentKind::kDispatch;
+    /** Mean ms per episode (episodes missing the label count as 0). */
+    double mean_ms = 0;
+    /** Share of mean episode time, 0..1. */
+    double share = 0;
+    /** Number of episodes the label appeared in. */
+    std::uint64_t episodes = 0;
+};
+
+struct ProfileSummary
+{
+    std::size_t episodes = 0;
+    double mean_total_ms = 0;
+    /** Keyed by segment label; std::map for deterministic output. */
+    std::map<std::string, SegmentStat> segments;
+};
+
+ProfileSummary summarize(const std::vector<CriticalPath> &paths);
+
+/** Human-readable per-episode breakdown of the top `top_k` paths. */
+std::string renderText(const std::vector<CriticalPath> &paths,
+                       std::size_t top_k);
+
+/** Machine-readable dump: summary plus every path's segments. */
+std::string renderJson(const std::vector<CriticalPath> &paths);
+
+/**
+ * Just the summary as a JSON object (no trailing newline), indented
+ * by `indent` spaces per level starting at `base_indent` — spliced
+ * into bench reports and metricsJson().
+ */
+std::string summaryJson(const ProfileSummary &summary, int base_indent);
+
+} // namespace rchdroid::profiling
+
+#endif // RCHDROID_PROFILING_CRITICAL_PATH_H

@@ -69,12 +69,28 @@ class AndroidSystem::AtmsProxy final : public ActivityManager
     void
     defer(std::function<void()> fn)
     {
+        std::uint64_t causal_id = 0;
+#if RCHDROID_TRACING
+        // Flow-start at the client send site (inside the app dispatch
+        // that issued the IActivityTaskManager call); the ATMS-side
+        // message inherits the id through the scheduler slot.
+        if (trace::Tracer *tracer = trace::Tracer::current()) {
+            if (Looper *producer = Looper::current();
+                producer != nullptr && producer->isDispatching()) {
+                causal_id = tracer->newFlowId();
+                tracer->flowAt(trace::Phase::kFlowStart,
+                               tracer->currentLane(), tracer->now(),
+                               causal_id, "binder",
+                               /*bind_enclosing=*/false);
+            }
+        }
+#endif
         // Labeled "binder" for the model checker's NondetSeam. Several
         // binder legs may be tied at one instant; they share this label,
         // which the explorer treats as conservatively dependent (binder
         // delivery order towards the ATMS is a real ordering choice).
         scheduler_.schedule(latency_.oneWay(0), std::move(fn),
-                            EventLabel{this, "binder"});
+                            EventLabel{this, "binder"}, causal_id);
     }
 
     SimScheduler &scheduler_;

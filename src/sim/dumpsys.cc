@@ -1,8 +1,11 @@
 #include "sim/dumpsys.h"
 
+#include <map>
 #include <sstream>
 
 #include "platform/strings.h"
+#include "platform/tracing.h"
+#include "profiling/critical_path.h"
 
 namespace rchdroid::sim {
 
@@ -41,6 +44,39 @@ sampleGauges(AndroidSystem &system, metrics::MetricsRegistry *registry)
     registry->set(metrics::Gauge::kHeapBytes, static_cast<double>(heap));
     registry->set(metrics::Gauge::kPendingMessages,
                   static_cast<double>(pending));
+}
+
+/**
+ * Critical paths for this system's completed episodes, keyed by episode
+ * index, when a tracer is live. The tracer may span several sequential
+ * systems (quickstart runs two), so the match walks both sequences
+ * backwards — this system's episodes are the trailing paths — and pairs
+ * them by exact (begin, end) timestamps.
+ */
+std::map<std::size_t, profiling::CriticalPath>
+matchedCriticalPaths(AndroidSystem &system)
+{
+    std::map<std::size_t, profiling::CriticalPath> matched;
+    trace::Tracer *tracer = trace::Tracer::current();
+    if (!tracer)
+        return matched;
+    std::vector<profiling::CriticalPath> paths =
+        profiling::extractCriticalPaths(profiling::fromTracer(*tracer));
+    const std::vector<HandlingEpisode> &episodes =
+        system.trace().handlingEpisodes();
+    std::size_t p = paths.size();
+    for (std::size_t i = episodes.size(); i-- > 0 && p > 0;) {
+        const HandlingEpisode &episode = episodes[i];
+        if (!episode.end || episode.aborted)
+            continue;
+        const profiling::CriticalPath &candidate = paths[p - 1];
+        if (candidate.begin != episode.start ||
+            candidate.end != *episode.end)
+            break;
+        matched.emplace(i, candidate);
+        --p;
+    }
+    return matched;
 }
 
 } // namespace
@@ -119,14 +155,56 @@ dumpsys(AndroidSystem &system, metrics::MetricsRegistry *registry)
         }
     }
 
-    os << "\nHANDLING EPISODES: " << system.trace().handlingEpisodes().size()
-       << " (last completed: ";
+    const std::vector<HandlingEpisode> &episodes =
+        system.trace().handlingEpisodes();
+    os << "\nHANDLING EPISODES: " << episodes.size() << " (last completed: ";
     const double last = system.trace().lastHandlingMs();
     if (last < 0)
         os << "none";
     else
         os << formatDouble(last, 3) << " ms";
     os << ")\n";
+    const std::map<std::size_t, profiling::CriticalPath> paths =
+        matchedCriticalPaths(system);
+    if (!episodes.empty())
+        os << "  id  trigger_ms  total_ms  dominant\n";
+    for (std::size_t i = 0; i < episodes.size(); ++i) {
+        const HandlingEpisode &episode = episodes[i];
+        os << "  #" << i << "  "
+           << formatDouble(toMillisF(episode.start), 3) << "  ";
+        if (!episode.end)
+            os << "(pending)  -";
+        else if (episode.aborted)
+            os << "(aborted)  -";
+        else {
+            os << formatDouble(episode.durationMs(), 3) << "  ";
+            const auto it = paths.find(i);
+            const profiling::Segment *dom =
+                it != paths.end() ? it->second.dominant() : nullptr;
+            os << (dom ? dom->label : "-");
+        }
+        os << '\n';
+    }
+
+    if (!paths.empty()) {
+        std::vector<profiling::CriticalPath> matched;
+        matched.reserve(paths.size());
+        for (const auto &[index, path] : paths) {
+            (void)index;
+            matched.push_back(path);
+        }
+        const profiling::ProfileSummary summary =
+            profiling::summarize(matched);
+        os << "\nPROFILE (critical-path segment means, " << summary.episodes
+           << " episode(s), mean total "
+           << formatDouble(summary.mean_total_ms, 3) << " ms):\n";
+        for (const auto &[label, stat] : summary.segments) {
+            os << "  " << formatDouble(stat.mean_ms, 3) << " ms  "
+               << formatDouble(100.0 * stat.share, 1) << "%  "
+               << profiling::segmentKindName(stat.kind) << "  " << label
+               << '\n';
+        }
+    }
 
     if (registry) {
         os << "\nMETRICS:\n" << registry->toText();
@@ -140,7 +218,28 @@ std::string
 metricsJson(AndroidSystem &system, metrics::MetricsRegistry *registry)
 {
     sampleGauges(system, registry);
-    return registry ? registry->toJson() : std::string("{}\n");
+    if (!registry)
+        return "{}\n";
+    std::string json = registry->toJson();
+    const std::map<std::size_t, profiling::CriticalPath> paths =
+        matchedCriticalPaths(system);
+    if (!paths.empty()) {
+        std::vector<profiling::CriticalPath> matched;
+        matched.reserve(paths.size());
+        for (const auto &[index, path] : paths) {
+            (void)index;
+            matched.push_back(path);
+        }
+        // Splice a "profile" member before the document's closing brace.
+        const std::size_t pos = json.rfind("\n}");
+        if (pos != std::string::npos) {
+            json.insert(pos,
+                        ",\n  \"profile\": " +
+                            profiling::summaryJson(
+                                profiling::summarize(matched), 2));
+        }
+    }
+    return json;
 }
 
 } // namespace rchdroid::sim

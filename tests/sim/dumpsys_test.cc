@@ -11,6 +11,7 @@
 
 #include "apps/corpus.h"
 #include "platform/metrics.h"
+#include "platform/tracing.h"
 #include "sim/android_system.h"
 #include "sim/dumpsys.h"
 
@@ -96,6 +97,69 @@ TEST(Dumpsys, GoldenRotationSnapshot)
     EXPECT_GT(registry.gauge(metrics::Gauge::kHeapBytes), 0.0);
 #endif
 }
+
+#if RCHDROID_TRACING
+TEST(Dumpsys, GoldenEpisodeTableUnderATracer)
+{
+    metrics::MetricsRegistry registry;
+    metrics::ScopedMetricsRegistry metrics_guard(&registry);
+    trace::Tracer tracer;
+    trace::ScopedTracer tracer_guard(&tracer);
+    auto system = runRotationWorkload();
+
+    const std::string dump = dumpsys(*system, &registry);
+
+    // The per-episode table: id, trigger time, total ms, dominant
+    // segment. Virtual-time numbers are deterministic, so the lines are
+    // pinned verbatim — episode #0 is launch-dominated (sunny create),
+    // episode #1 flip-dominated (coin-flip back into the shadow).
+    EXPECT_NE(dump.find("  id  trigger_ms  total_ms  dominant"),
+              std::string::npos);
+    EXPECT_NE(dump.find("  #0  151.678  157.078  "
+                        "app.performLaunch@com.eval.Benchmark4.main"),
+              std::string::npos);
+    EXPECT_NE(dump.find("  #1  6308.756  89.676  "
+                        "rch.flipSync@com.eval.Benchmark4.main"),
+              std::string::npos);
+
+    // And the cross-episode segment means.
+    EXPECT_NE(dump.find("PROFILE (critical-path segment means, "
+                        "2 episode(s), mean total 123.377 ms):"),
+              std::string::npos);
+    EXPECT_NE(dump.find("ms  47.7%  launch  "
+                        "app.performLaunch@com.eval.Benchmark4.main"),
+              std::string::npos);
+    EXPECT_NE(dump.find("queue-wait  queue-wait@system_server.atms"),
+              std::string::npos);
+    EXPECT_NE(dump.find("migration  "
+                        "rch.flipSync@com.eval.Benchmark4.main"),
+              std::string::npos);
+
+    // The JSON twin carries the same summary under "profile".
+    const std::string json = metricsJson(*system, &registry);
+    EXPECT_NE(json.find("\"profile\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"episodes\": 2"), std::string::npos);
+    EXPECT_NE(json.find(
+                  "\"app.performLaunch@com.eval.Benchmark4.main\""),
+              std::string::npos);
+}
+
+TEST(Dumpsys, EpisodeTableWithoutATracerShowsNoDominant)
+{
+    metrics::MetricsRegistry registry;
+    metrics::ScopedMetricsRegistry guard(&registry);
+    auto system = runRotationWorkload();
+
+    // No tracer installed: the table renders but dominant segments and
+    // the PROFILE section need flow events that were never recorded.
+    const std::string dump = dumpsys(*system, &registry);
+    EXPECT_NE(dump.find("  id  trigger_ms  total_ms  dominant"),
+              std::string::npos);
+    EXPECT_EQ(dump.find("PROFILE ("), std::string::npos);
+    EXPECT_EQ(metricsJson(*system, &registry).find("\"profile\""),
+              std::string::npos);
+}
+#endif
 
 TEST(Dumpsys, MetricsJsonTwinCarriesTheSameCounters)
 {

@@ -150,5 +150,129 @@ class CheckTraceTest(unittest.TestCase):
         self.assertTrue(any("unknown phase" in e for e in errors), errors)
 
 
+def flow(phase, flow_id, ts, pid=1, tid=1, **extra):
+    event = {"ph": phase, "name": "hop", "pid": pid, "tid": tid,
+             "ts": ts, "id": flow_id}
+    event.update(extra)
+    return event
+
+
+class CheckTraceFlowTest(unittest.TestCase):
+    """Flow-event (s/t/f) validation: the causal edges the critical-path
+    analyzer walks must start once, bind with bp="e" only, and sit
+    inside an open B span on their lane."""
+
+    def check(self, events, **kwargs):
+        return check_trace.check({"traceEvents": events}, **kwargs)
+
+    def well_formed(self):
+        """A producer dispatch posting to a consumer dispatch."""
+        return (metadata(pid=1, tid=1) + metadata(pid=1, tid=2) + [
+            {"ph": "B", "name": "producer", "pid": 1, "tid": 1, "ts": 0},
+            flow("s", 9, 4, tid=1),
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 5},
+            {"ph": "B", "name": "consumer", "pid": 1, "tid": 2, "ts": 6},
+            flow("f", 9, 6, tid=2, bp="e"),
+            {"ph": "E", "pid": 1, "tid": 2, "ts": 8},
+        ])
+
+    def test_well_formed_flow_passes(self):
+        self.assertEqual(self.check(self.well_formed()), [])
+
+    def test_flow_without_id(self):
+        events = self.well_formed()
+        del events[5]["id"]
+        errors = self.check(events)
+        self.assertTrue(any("without numeric id" in e for e in errors),
+                        errors)
+
+    def test_flow_step_without_start(self):
+        events = metadata() + [
+            {"ph": "B", "name": "consumer", "pid": 1, "tid": 1, "ts": 6},
+            flow("t", 42, 6, bp="e"),
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 8},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("no open flow start" in e for e in errors),
+                        errors)
+
+    def test_flow_end_without_start(self):
+        events = metadata() + [
+            {"ph": "B", "name": "consumer", "pid": 1, "tid": 1, "ts": 6},
+            flow("f", 42, 6, bp="e"),
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 8},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("no open flow start" in e for e in errors),
+                        errors)
+
+    def test_flow_start_id_reuse(self):
+        events = self.well_formed()
+        # A second chain restarting the finished id 9: the tracer
+        # allocates every id exactly once.
+        events += [
+            {"ph": "B", "name": "producer2", "pid": 1, "tid": 1, "ts": 9},
+            flow("s", 9, 9, tid=1),
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 10},
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("reuses id 9" in e for e in errors), errors)
+
+    def test_bad_binding_point(self):
+        events = self.well_formed()
+        events[8]["bp"] = "w"
+        errors = self.check(events)
+        self.assertTrue(any('only "e" is valid' in e for e in errors),
+                        errors)
+
+    def test_flow_outside_any_span(self):
+        events = metadata() + [flow("s", 5, 1)]
+        errors = self.check(events)
+        self.assertTrue(any("outside any open B span" in e for e in errors),
+                        errors)
+
+    def test_consumer_flow_must_bind_inside_its_dispatch(self):
+        # Consumer-side f emitted after the dispatch span closed: the
+        # enclosing-slice binding has nothing to bind to.
+        events = metadata(pid=1, tid=1) + metadata(pid=1, tid=2) + [
+            {"ph": "B", "name": "producer", "pid": 1, "tid": 1, "ts": 0},
+            flow("s", 9, 4, tid=1),
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 5},
+            {"ph": "B", "name": "consumer", "pid": 1, "tid": 2, "ts": 6},
+            {"ph": "E", "pid": 1, "tid": 2, "ts": 8},
+            flow("f", 9, 8, tid=2, bp="e"),
+        ]
+        errors = self.check(events)
+        self.assertTrue(any("outside any open B span" in e for e in errors),
+                        errors)
+
+    def test_unfinished_flow_is_note_not_error(self):
+        # gcTick-style self-reposting chains cross the trace cut; the
+        # dangling s must not fail validation but is noted.
+        events = metadata() + [
+            {"ph": "B", "name": "producer", "pid": 1, "tid": 1, "ts": 0},
+            flow("s", 9, 4),
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 5},
+        ]
+        notes = []
+        self.assertEqual(self.check(events, notes=notes), [])
+        self.assertTrue(any("still open at the trace cut" in n
+                            for n in notes), notes)
+
+    def test_flow_exempt_from_lane_monotonicity(self):
+        # Producer s timestamps come from the cost-aware clock and may
+        # exceed the consumer's dispatch begin; flows never participate
+        # in the B/E monotonicity check.
+        events = metadata(pid=1, tid=1) + metadata(pid=1, tid=2) + [
+            {"ph": "B", "name": "producer", "pid": 1, "tid": 1, "ts": 0},
+            flow("s", 9, 30, tid=1),
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 30},
+            {"ph": "B", "name": "consumer", "pid": 1, "tid": 2, "ts": 6},
+            flow("f", 9, 6, tid=2, bp="e"),
+            {"ph": "E", "pid": 1, "tid": 2, "ts": 8},
+        ]
+        self.assertEqual(self.check(events), [])
+
+
 if __name__ == "__main__":
     unittest.main()

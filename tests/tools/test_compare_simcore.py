@@ -104,6 +104,90 @@ class ClassifyWorkloadsTest(unittest.TestCase):
         self.assertEqual(out["overhead_exceeded"], [])
 
 
+def profiled(workloads, segments, **kwargs):
+    """A report carrying a metrics.profile section.
+
+    `segments` maps label -> mean_ms; kind/share/episodes are filled in
+    with plausible constants since classify_segments only reads mean_ms.
+    """
+    out = report(workloads, **kwargs)
+    out["metrics"] = {
+        "profile": {
+            "episodes": 20,
+            "mean_total_ms": sum(segments.values()),
+            "segments": {
+                label: {"kind": "dispatch", "mean_ms": ms,
+                        "share": 0.1, "episodes": 20}
+                for label, ms in segments.items()
+            },
+        },
+    }
+    return out
+
+
+class ClassifySegmentsTest(unittest.TestCase):
+    """The hard per-segment gate over metrics.profile (virtual-time
+    critical-path means, deterministic across hosts)."""
+
+    def classify(self, base, cur, threshold=0.30):
+        return compare_simcore.classify_segments(
+            profiled({"dispatch": 1000.0}, base),
+            profiled({"dispatch": 1000.0}, cur), threshold)
+
+    def test_missing_profile_sections_skip_the_gate(self):
+        plain = report({"dispatch": 1000.0})
+        rich = profiled({"dispatch": 1000.0}, {"launch@main": 10.0})
+        self.assertIsNone(
+            compare_simcore.classify_segments(plain, rich, 0.30))
+        self.assertIsNone(
+            compare_simcore.classify_segments(rich, plain, 0.30))
+
+    def test_dominant_is_largest_baseline_mean(self):
+        out = self.classify({"launch@main": 40.0, "gc@main": 5.0},
+                            {"launch@main": 40.0, "gc@main": 5.0})
+        self.assertEqual(out["dominant"], "launch@main")
+        self.assertEqual(out["failed"], [])
+        self.assertEqual(out["warned"], [])
+
+    def test_dominant_slowdown_beyond_threshold_fails(self):
+        out = self.classify({"launch@main": 40.0, "gc@main": 5.0},
+                            {"launch@main": 60.0, "gc@main": 5.0})
+        self.assertEqual([n for n, _ in out["failed"]], ["launch@main"])
+        self.assertAlmostEqual(out["failed"][0][1], 0.50)
+        self.assertEqual(out["warned"], [])
+
+    def test_non_dominant_slowdown_only_warns(self):
+        out = self.classify({"launch@main": 40.0, "gc@main": 5.0},
+                            {"launch@main": 40.0, "gc@main": 10.0})
+        self.assertEqual(out["failed"], [])
+        self.assertEqual([n for n, _ in out["warned"]], ["gc@main"])
+
+    def test_improvement_is_never_flagged(self):
+        # Segments getting *faster* (negative delta) are one-sidedly
+        # fine, however large the change.
+        out = self.classify({"launch@main": 40.0}, {"launch@main": 1.0})
+        self.assertEqual(out["failed"], [])
+        self.assertEqual(out["warned"], [])
+
+    def test_threshold_boundary_is_strict(self):
+        # Exactly +30% is NOT "more than" a 30% slowdown.
+        out = self.classify({"launch@main": 40.0}, {"launch@main": 52.0})
+        self.assertEqual(out["failed"], [])
+
+    def test_missing_segment_reported_not_crashed(self):
+        out = self.classify({"launch@main": 40.0, "gc@main": 5.0},
+                            {"launch@main": 40.0})
+        self.assertEqual(out["missing"], ["gc@main"])
+        self.assertEqual(len(out["rows"]), 1)
+
+    def test_rows_carry_slower_positive_delta(self):
+        out = self.classify({"launch@main": 40.0}, {"launch@main": 50.0})
+        label, base_ms, cur_ms, delta = out["rows"][0]
+        self.assertEqual((label, base_ms, cur_ms), ("launch@main",
+                                                    40.0, 50.0))
+        self.assertAlmostEqual(delta, 0.25)
+
+
 class MainTest(unittest.TestCase):
     """End-to-end CLI behaviour through main(argv)."""
 
@@ -186,6 +270,54 @@ class MainTest(unittest.TestCase):
             code, out = self.run_main(["prog", base, cur])
         self.assertEqual(code, 0)
         self.assertIn("parallel aggregate diverged", out)
+
+    def test_dominant_segment_regression_is_a_hard_failure(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self.write(tmp, "base.json",
+                              profiled({"dispatch": 1000.0},
+                                       {"launch@main": 40.0,
+                                        "gc@main": 5.0}))
+            cur = self.write(tmp, "cur.json",
+                             profiled({"dispatch": 1000.0},
+                                      {"launch@main": 60.0,
+                                       "gc@main": 5.0}))
+            code, out = self.run_main(
+                ["prog", base, cur, "--segment-fail-threshold=0.30"])
+        self.assertEqual(code, 1)
+        self.assertIn("::error::simcore dominant critical-path segment "
+                      "launch@main", out)
+        self.assertIn(" <- dominant", out)
+
+    def test_clean_segment_gate_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            payload = profiled({"dispatch": 1000.0},
+                               {"launch@main": 40.0, "gc@main": 5.0})
+            base = self.write(tmp, "base.json", payload)
+            cur = self.write(tmp, "cur.json", payload)
+            code, out = self.run_main(
+                ["prog", base, cur, "--segment-fail-threshold=0.30"])
+        self.assertEqual(code, 0)
+        self.assertIn("dominant segment 'launch@main' within +30%", out)
+
+    def test_segment_gate_skipped_without_profile(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = self.write(tmp, "base.json",
+                              report({"dispatch": 1000.0}))
+            cur = self.write(tmp, "cur.json", report({"dispatch": 1000.0}))
+            code, out = self.run_main(
+                ["prog", base, cur, "--segment-fail-threshold=0.30"])
+        self.assertEqual(code, 0)
+        self.assertIn("segment gate skipped", out)
+
+    def test_no_segment_flag_means_no_segment_output(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            payload = profiled({"dispatch": 1000.0},
+                               {"launch@main": 40.0})
+            base = self.write(tmp, "base.json", payload)
+            cur = self.write(tmp, "cur.json", payload)
+            code, out = self.run_main(["prog", base, cur])
+        self.assertEqual(code, 0)
+        self.assertNotIn("segment", out)
 
     def test_hardware_mismatch_noted(self):
         with tempfile.TemporaryDirectory() as tmp:

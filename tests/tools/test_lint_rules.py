@@ -136,6 +136,39 @@ class LintRulesTest(unittest.TestCase):
         code, errors = self.repo.lint()
         self.assertEqual(self.rules(errors), ["sa-seam"])
 
+    def test_profiling_seam_rule_blocks_simulator_includes(self):
+        self.repo.write("src/profiling/bad.cc",
+                        '#include "os/looper.h"\n'
+                        '#include "sim/dumpsys.h"\n')
+        code, errors = self.repo.lint()
+        self.assertEqual(code, 1)
+        self.assertEqual(self.rules(errors),
+                         ["profiling-seam", "profiling-seam"])
+
+    def test_profiling_seam_rule_allows_own_and_platform_headers(self):
+        self.repo.write("src/profiling/good.cc",
+                        '#include "profiling/critical_path.h"\n'
+                        '#include "platform/tracing.h"\n'
+                        '#include "platform/time.h"\n')
+        code, errors = self.repo.lint()
+        self.assertEqual(code, 0)
+
+    def test_profiling_seam_rule_blocks_app_and_apps_headers(self):
+        # apps/ spec headers are an sa/ privilege, not a profiling one:
+        # the profiler's whole world is the trace.
+        self.repo.write("src/profiling/bad.h",
+                        '#include "apps/app_spec.h"\n'
+                        '#include "app/activity.h"\n')
+        code, errors = self.repo.lint()
+        self.assertEqual(self.rules(errors),
+                         ["profiling-seam", "profiling-seam"])
+
+    def test_profiling_seam_include_in_comment_is_exempt(self):
+        self.repo.write("src/profiling/doc.cc",
+                        '// #include "sim/dumpsys.h" would be a leak\n')
+        code, errors = self.repo.lint()
+        self.assertEqual(code, 0)
+
     def test_checker_tests_rule_fires_on_missing_test_file(self):
         os.remove(os.path.join(
             self.repo.root, "tests/sa/checker_stale_reference_test.cc"))

@@ -4,11 +4,22 @@
 Checks, per (pid, tid) lane in array order:
   - every E closes a matching B (a simple stack suffices because the
     tracer emits B/E pairs, not X complete events);
-  - timestamps of B/E events are non-decreasing (instant events use the
-    cost-aware clock mid-dispatch and are exempt);
+  - timestamps of B/E events are non-decreasing (instant and flow
+    events use the cost-aware clock mid-dispatch and are exempt);
 and globally:
   - async b/e events pair up by (cat, id) with begin before end;
+  - flow events (s/t/f) carry a numeric id, never restart an id (the
+    tracer allocates each once), never step/end an id that was not
+    started, carry no binding other than bp="e", and sit inside an open
+    B span on their lane — both the producer side (emitted at a post
+    site inside the producer's dispatch) and the consumer side (bound
+    to the dispatch the message caused), so the critical-path analyzer
+    can always resolve an enclosing span;
   - metadata names every (pid, tid) that carries events.
+
+Flows still open at the end of the array are NOT errors: self-reposting
+chains (gcTick) legitimately cross the trace cut. They are reported as
+an informational note only.
 
 Usage:
   check_trace.py TRACE.json [--require-episodes]
@@ -27,7 +38,12 @@ def fail(errors, message):
     errors.append(message)
 
 
-def check(trace, require_episodes=False):
+def check(trace, require_episodes=False, notes=None):
+    """Validate the trace; returns the list of violations.
+
+    `notes`, when given a list, collects informational observations
+    (currently: flow chains still open at the trace cut).
+    """
     errors = []
     events = trace.get("traceEvents")
     if not isinstance(events, list):
@@ -35,9 +51,11 @@ def check(trace, require_episodes=False):
 
     named_lanes = set()
     named_pids = set()
-    stacks = {}      # (pid, tid) -> [name, ...] of open B spans
-    last_ts = {}     # (pid, tid) -> ts of the previous B/E event
-    async_open = {}  # (cat, id) -> name
+    stacks = {}       # (pid, tid) -> [name, ...] of open B spans
+    last_ts = {}      # (pid, tid) -> ts of the previous B/E event
+    async_open = {}   # (cat, id) -> name
+    flows_open = {}   # flow id -> name of its start event
+    flows_done = set()
     episodes_done = 0
 
     for index, event in enumerate(events):
@@ -85,6 +103,29 @@ def check(trace, require_episodes=False):
                 del async_open[key]
                 if event.get("cat") == "episode":
                     episodes_done += 1
+        elif phase in ("s", "t", "f"):
+            flow_id = event.get("id")
+            if not isinstance(flow_id, (int, float)):
+                fail(errors, f"{where}: flow '{phase}' without numeric id")
+            elif phase == "s":
+                if flow_id in flows_open or flow_id in flows_done:
+                    fail(errors,
+                         f"{where}: flow start reuses id {flow_id}")
+                else:
+                    flows_open[flow_id] = event.get("name", "")
+            elif flow_id not in flows_open:
+                fail(errors, f"{where}: flow '{phase}' id {flow_id} has no "
+                             f"open flow start")
+            elif phase == "f":
+                del flows_open[flow_id]
+                flows_done.add(flow_id)
+            bp = event.get("bp")
+            if bp is not None and bp != "e":
+                fail(errors, f"{where}: flow binding bp={bp!r} (only "
+                             f"\"e\" is valid)")
+            if not stacks.get(lane):
+                fail(errors, f"{where}: flow '{phase}' outside any open B "
+                             f"span on lane {lane}")
         elif phase == "i":
             pass  # cost-aware clock; exempt from lane monotonicity
         else:
@@ -100,6 +141,9 @@ def check(trace, require_episodes=False):
                          f"innermost '{stack[-1]}'")
     for key, name in async_open.items():
         fail(errors, f"async span {key} ('{name}') never ended")
+    if notes is not None and flows_open:
+        notes.append(f"{len(flows_open)} flow chain(s) still open at the "
+                     f"trace cut (self-reposting chains; not an error)")
     if require_episodes and episodes_done == 0:
         fail(errors, "no completed 'episode' async span found")
     return errors
@@ -119,7 +163,11 @@ def main():
         print(f"check_trace: {args.trace}: {error}", file=sys.stderr)
         return 1
 
-    errors = check(trace, require_episodes=args.require_episodes)
+    notes = []
+    errors = check(trace, require_episodes=args.require_episodes,
+                   notes=notes)
+    for note in notes:
+        print(f"check_trace: note: {note}")
     if errors:
         for error in errors:
             print(f"check_trace: {error}", file=sys.stderr)

@@ -3,6 +3,7 @@
 
 Usage: compare_simcore.py BASELINE_JSON CURRENT_JSON [--threshold=0.20]
                           [--overhead-threshold=0.05]
+                          [--segment-fail-threshold=0.30]
 
 Prints one line per single-thread workload plus the parallel speedup.
 Any workload whose events/sec regressed by more than the threshold gets
@@ -14,12 +15,21 @@ registry or tracer during the timed workloads, so any regression beyond
 this bound is attributable to the disabled instrumentation (the
 thread-local load + branch at every hook site) and gets its own warning.
 
-The exit code is always 0 once arguments parse — micro-benchmark numbers
-on shared CI runners are advisory, not gating; the checked-in baseline
-is refreshed from CI artifacts when the numbers move for a good reason.
-A missing or unreadable baseline file is likewise advisory (a branch may
-predate the baseline): the comparison is skipped with a warning rather
-than dying in a traceback.
+--segment-fail-threshold compares the per-segment critical-path means
+under metrics.profile.segments — the causal profiler's attribution of
+each handling episode's latency (queue waits, launch, migration, GC).
+These are *virtual-time* numbers, deterministic across hosts, so unlike
+the wall-clock throughput they gate hard: if the baseline's dominant
+segment (largest mean_ms) got slower by more than the threshold, the
+script exits 1 with a ::error:: naming the segment. Non-dominant
+segments beyond the threshold only warn.
+
+Except for that dominant-segment gate, the exit code is 0 once arguments
+parse — micro-benchmark numbers on shared CI runners are advisory, not
+gating; the checked-in baseline is refreshed from CI artifacts when the
+numbers move for a good reason. A missing or unreadable baseline file is
+likewise advisory (a branch may predate the baseline): the comparison is
+skipped with a warning rather than dying in a traceback.
 """
 
 import json
@@ -70,6 +80,49 @@ def classify_workloads(baseline, current, threshold,
             "overhead_exceeded": overhead_exceeded, "missing": missing}
 
 
+def classify_segments(baseline, current, fail_threshold):
+    """Compare per-segment critical-path means (metrics.profile).
+
+    Returns None when either report lacks a profile section (older
+    baseline or a tracing-disabled build — advisory skip). Otherwise a
+    dict with:
+      rows       [(label, base_ms, cur_ms, delta)] in baseline order,
+                 delta = (cur - base) / base (positive = got slower);
+      dominant   the baseline label with the largest mean_ms;
+      failed     [(label, delta)] — dominant segment beyond the
+                 threshold (the hard gate);
+      warned     [(label, delta)] — non-dominant segments beyond it;
+      missing    [label] in baseline but absent from the run.
+    """
+    base_profile = baseline.get("metrics", {}).get("profile")
+    cur_profile = current.get("metrics", {}).get("profile")
+    if not base_profile or not cur_profile:
+        return None
+    base_segments = base_profile.get("segments", {})
+    cur_segments = cur_profile.get("segments", {})
+    if not base_segments:
+        return None
+    dominant = max(base_segments,
+                   key=lambda label: base_segments[label].get("mean_ms", 0))
+    rows = []
+    failed = []
+    warned = []
+    missing = []
+    for label, base in base_segments.items():
+        cur = cur_segments.get(label)
+        if cur is None:
+            missing.append(label)
+            continue
+        base_ms = base.get("mean_ms", 0)
+        cur_ms = cur.get("mean_ms", 0)
+        delta = relative_delta(base_ms, cur_ms)
+        rows.append((label, base_ms, cur_ms, delta))
+        if delta > fail_threshold:
+            (failed if label == dominant else warned).append((label, delta))
+    return {"rows": rows, "dominant": dominant, "failed": failed,
+            "warned": warned, "missing": missing}
+
+
 def load_report(path, role):
     """Load one report; None (with a warning) when absent/unparsable."""
     try:
@@ -87,11 +140,14 @@ def main(argv):
         return 2
     threshold = 0.20
     overhead_threshold = None
+    segment_fail_threshold = None
     for arg in argv[3:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--overhead-threshold="):
             overhead_threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--segment-fail-threshold="):
+            segment_fail_threshold = float(arg.split("=", 1)[1])
     baseline = load_report(argv[1], "baseline")
     current = load_report(argv[2], "run")
     if baseline is None or current is None:
@@ -133,6 +189,33 @@ def main(argv):
         if not outcome["overhead_exceeded"]:
             print(f"tracing-disabled overhead within "
                   f"{overhead_threshold:.0%} on every workload")
+
+    if segment_fail_threshold is not None:
+        segments = classify_segments(baseline, current,
+                                     segment_fail_threshold)
+        if segments is None:
+            print("::warning::simcore critical-path profile missing from "
+                  "baseline or run — segment gate skipped")
+        else:
+            for label in segments["missing"]:
+                print(f"::warning::simcore critical-path segment '{label}' "
+                      f"missing from run")
+            for label, base_ms, cur_ms, delta in segments["rows"]:
+                marker = " <- dominant" if label == segments["dominant"] \
+                    else ""
+                print(f"segment {label}: {cur_ms:.3f} ms "
+                      f"(baseline {base_ms:.3f}, {delta:+.1%}){marker}")
+            for label, delta in segments["warned"]:
+                print(f"::warning::simcore critical-path segment {label} "
+                      f"slowed {delta:+.1%} vs baseline")
+            for label, delta in segments["failed"]:
+                print(f"::error::simcore dominant critical-path segment "
+                      f"{label} slowed {delta:+.1%} vs baseline (limit "
+                      f"+{segment_fail_threshold:.0%})")
+            if segments["failed"]:
+                return 1
+            print(f"dominant segment '{segments['dominant']}' within "
+                  f"+{segment_fail_threshold:.0%} of baseline")
     return 0
 
 

@@ -49,6 +49,15 @@ of src/sa/checkers.cc must have a matching test file
 tests/sa/checker_<name>_test.cc. A checker without tests is a verdict
 nobody has pinned down; the registry is parsed so the rule tracks new
 checkers automatically.
+
+Rule 5 — profiling-seam: the causal profiler (src/profiling/) consumes
+the tracer's event stream, live or re-read from JSON — it must never
+include simulator internals (os/, sim/, app/, ams/, ...). Only its own
+headers and platform/ (where the tracer lives) are reachable. This is
+the same one-way-arrow argument as sa-seam: the profiler analyzes
+recorded behaviour; an os/ include would let it read simulator state
+the trace does not carry, and the offline CLI (rchdroid_profile) would
+silently diverge from what a trace consumer can reconstruct.
 """
 
 import json
@@ -73,6 +82,9 @@ CHECKER_HOME = os.path.join("src", "sa", "checkers.cc")
 #: Include prefixes/files src/sa/ may reach (rule 3).
 SA_ALLOWED_INCLUDES = ("sa/", "platform/", "apps/app_spec.h",
                        "apps/corpus.h", "apps/spec_traits.h")
+
+#: Include prefixes src/profiling/ may reach (rule 5).
+PROFILING_ALLOWED_INCLUDES = ("profiling/", "platform/")
 
 SOURCE_SUFFIXES = (".h", ".cc")
 
@@ -190,6 +202,20 @@ def check_file(path, rel, kind_names, errors):
                     f"may only see sa/, platform/ and the spec/model "
                     f"headers ({', '.join(SA_ALLOWED_INCLUDES[2:])}); "
                     f"dynamic harness code belongs in src/mc/"))
+
+    if layer == "profiling":
+        for number, line in enumerate(code.splitlines(), 1):
+            match = re.search(r'#\s*include\s*"([^"]+)"', line)
+            if not match:
+                continue
+            include = match.group(1)
+            if not include.startswith(PROFILING_ALLOWED_INCLUDES):
+                errors.append(_error(
+                    rel, number, "profiling-seam",
+                    f"profiler includes \"{include}\" — src/profiling/ "
+                    f"may only see profiling/ and platform/ (the trace "
+                    f"is its whole world; simulator internals stay "
+                    f"behind the tracer seam)"))
 
 
 def check_checker_tests(repo_root, checker_names, errors):
