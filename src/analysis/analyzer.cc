@@ -59,8 +59,11 @@ Analyzer::onLooperDestroyed(Looper &looper)
 }
 
 void
-Analyzer::onMessageSend(Looper &target, std::uint64_t msg_id)
+Analyzer::onMessageSend(Looper &target, std::uint64_t msg_id, SimTime when,
+                        const std::string &tag)
 {
+    (void)when;
+    (void)tag;
     if (options_.race_detector)
         races_.onMessageSend(target, msg_id);
 }

@@ -133,6 +133,7 @@ runExecution(const ExecutionOptions &options)
             ChoicePoint &last = result.choice_points.back();
             last.segment_footprint.insert(hooks.footprint().begin(),
                                           hooks.footprint().end());
+            last.segment.merge(hooks.segment());
         }
         violated = evaluate();
     }

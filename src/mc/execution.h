@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "mc/hooks.h"
 #include "mc/oracles.h"
 #include "mc/scenario.h"
 #include "os/scheduler.h"
@@ -71,6 +72,11 @@ struct ChoicePoint
      * the independence data sleep sets work with.
      */
     std::set<std::string> segment_footprint;
+    /**
+     * Step classes / posted queue slots / barrier flag of the same
+     * segment — what the static independence oracle consumes.
+     */
+    SegmentSummary segment;
 };
 
 struct ExecutionOptions

@@ -17,6 +17,8 @@ struct SleepEntry
 {
     EventId id = kInvalidEventId;
     std::set<std::string> footprint;
+    /** Static summary of the same segment, for the MHP oracle. */
+    SegmentSummary segment;
 };
 
 bool
@@ -50,6 +52,72 @@ class Explorer
 
   private:
     using VisitedKey = std::tuple<std::uint64_t, int, int>;
+
+    /**
+     * May the two segments be swapped without observable difference,
+     * per the static oracle alone? Requires every dispatched class to
+     * be known to the spec, pairwise class independence, no barrier,
+     * and no post collision on one (looper, due-time) queue slot (two
+     * posts into the same slot dispatch in enqueue order, so swapping
+     * them is observable; posts into distinct slots dispatch in
+     * due-time order either way — the queue-ordering argument in
+     * DESIGN.md §14).
+     */
+    bool
+    staticallyIndependent(const SegmentSummary &a,
+                          const SegmentSummary &b) const
+    {
+        const sa::IndependenceSpec *spec = options_.independence;
+        if (spec == nullptr || spec->empty())
+            return false;
+        if (a.barrier || b.barrier)
+            return false;
+        if (a.classes.empty() || b.classes.empty())
+            return false; // injection / unknown content: stay dynamic
+        for (const std::string &key_a : a.classes) {
+            const sa::StepClass *class_a = spec->find(key_a);
+            if (class_a == nullptr)
+                return false;
+            for (const std::string &key_b : b.classes) {
+                const sa::StepClass *class_b = spec->find(key_b);
+                if (class_b == nullptr)
+                    return false;
+                if (!spec->independentClasses(*class_a, *class_b))
+                    return false;
+            }
+        }
+        for (const auto &post : a.posts) {
+            if (b.posts.count(post))
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Is {option 0} a persistent set at this choice point? True when
+     * the spec is closed-world process-isolated and every option is an
+     * event on a looper the spec maps to a *distinct* process: the
+     * options pairwise commute (different processes never interact
+     * under the isolation obligation), every future event stays inside
+     * one listed process too, so exploring only the default covers the
+     * whole subtree up to Mazurkiewicz equivalence.
+     */
+    bool
+    oracleAllowsPrune(const ChoicePoint &cp) const
+    {
+        const sa::IndependenceSpec *spec = options_.independence;
+        if (spec == nullptr || !spec->processIsolated())
+            return false;
+        std::set<std::string> processes;
+        for (const ChoiceOption &option : cp.options) {
+            if (option.kind != ChoiceOption::Kind::Event)
+                return false; // injections/end are global
+            const std::string *process = spec->looperProcess(option.label);
+            if (process == nullptr || !processes.insert(*process).second)
+                return false;
+        }
+        return true;
+    }
 
     ExecutionResult
     execute(const std::vector<int> &schedule)
@@ -109,10 +177,16 @@ class Explorer
 
         std::uint64_t covered = 0;
         std::vector<SleepEntry> explored;
+        const bool prune_siblings =
+            options_.reduction && oracleAllowsPrune(cp);
         for (int i = 0; i < static_cast<int>(cp.options.size()); ++i) {
             if (truncated_)
                 break;
             const ChoiceOption &option = cp.options[i];
+            if (prune_siblings && i != cp.chosen) {
+                ++report_.stats.mhp_prunes;
+                continue;
+            }
             const bool is_event = option.kind == ChoiceOption::Kind::Event;
             if (options_.reduction && is_event &&
                 std::any_of(sleep.begin(), sleep.end(),
@@ -140,18 +214,31 @@ class Explorer
             }
 
             static const std::set<std::string> kEmpty;
+            static const SegmentSummary kEmptySegment;
+            const bool has_cp = child->choice_points.size() > level;
             const std::set<std::string> &footprint =
-                child->choice_points.size() > level
-                    ? child->choice_points[level].segment_footprint
-                    : kEmpty;
+                has_cp ? child->choice_points[level].segment_footprint
+                       : kEmpty;
+            const SegmentSummary &segment =
+                has_cp ? child->choice_points[level].segment
+                       : kEmptySegment;
 
             std::vector<SleepEntry> child_sleep;
             if (options_.reduction) {
                 for (const std::vector<SleepEntry> *source :
                      {&sleep, &explored}) {
                     for (const SleepEntry &entry : *source) {
-                        if (!footprintsIntersect(entry.footprint,
-                                                 footprint))
+                        bool keep = !footprintsIntersect(entry.footprint,
+                                                         footprint);
+                        if (!keep && staticallyIndependent(entry.segment,
+                                                           segment)) {
+                            // Dynamic footprints touched the same
+                            // looper names, but the oracle proves the
+                            // segments commute: stay asleep.
+                            keep = true;
+                            ++report_.stats.mhp_sleep_keeps;
+                        }
+                        if (keep)
                             child_sleep.push_back(entry);
                     }
                 }
@@ -161,7 +248,8 @@ class Explorer
             prefix.pop_back();
 
             if (options_.reduction && is_event)
-                explored.push_back(SleepEntry{option.event_id, footprint});
+                explored.push_back(
+                    SleepEntry{option.event_id, footprint, segment});
         }
 
         if (options_.reduction && !truncated_)

@@ -32,11 +32,13 @@ McHooks::onLooperDestroyed(Looper &looper)
 }
 
 void
-McHooks::onMessageSend(Looper &target, std::uint64_t msg_id)
+McHooks::onMessageSend(Looper &target, std::uint64_t msg_id, SimTime when,
+                       const std::string &tag)
 {
     footprint_.insert(target.name());
+    segment_.posts.insert({target.name(), when});
     if (analyzer_)
-        analyzer_->onMessageSend(target, msg_id);
+        analyzer_->onMessageSend(target, msg_id, when, tag);
 }
 
 void
@@ -44,6 +46,7 @@ McHooks::onDispatchBegin(Looper &looper, std::uint64_t msg_id,
                          const std::string &tag)
 {
     footprint_.insert(looper.name());
+    segment_.classes.insert(looper.name() + "#" + tag);
     if (analyzer_)
         analyzer_->onDispatchBegin(looper, msg_id, tag);
 }
@@ -61,6 +64,7 @@ McHooks::onSyncBarrier(const void *scope, const char *label)
     // A barrier is global synchronisation: conservatively poison the
     // footprint so the step is treated as dependent with everything.
     footprint_.insert("<barrier>");
+    segment_.barrier = true;
     if (analyzer_)
         analyzer_->onSyncBarrier(scope, label);
 }

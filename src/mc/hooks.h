@@ -23,11 +23,37 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "analysis/analyzer.h"
 #include "os/analysis_hooks.h"
+#include "platform/time.h"
 
 namespace rchdroid::mc {
+
+/**
+ * What the static independence oracle needs to know about one executed
+ * segment (the chosen step plus its forced single-option successors):
+ * the step classes it dispatched, the queue slots it posted into, and
+ * whether a sync barrier fired (DESIGN.md §14).
+ */
+struct SegmentSummary
+{
+    /** "<looper>#<tag>" key of every dispatch in the segment. */
+    std::set<std::string> classes;
+    /** (target looper, due time) of every message the segment posted. */
+    std::set<std::pair<std::string, SimTime>> posts;
+    /** Conservatively dependent on everything when set. */
+    bool barrier = false;
+
+    void
+    merge(const SegmentSummary &other)
+    {
+        classes.insert(other.classes.begin(), other.classes.end());
+        posts.insert(other.posts.begin(), other.posts.end());
+        barrier = barrier || other.barrier;
+    }
+};
 
 /**
  * Forwarding hooks + footprint recorder. See file comment.
@@ -49,9 +75,16 @@ class McHooks final : public analysis::Hooks
      * @{
      */
     /** Start recording a fresh footprint for the next step. */
-    void beginStep() { footprint_.clear(); }
+    void
+    beginStep()
+    {
+        footprint_.clear();
+        segment_ = SegmentSummary{};
+    }
     /** Loopers the step touched (dispatches + message sends). */
     const std::set<std::string> &footprint() const { return footprint_; }
+    /** Classes/posts/barrier of the step, for the static oracle. */
+    const SegmentSummary &segment() const { return segment_; }
     /** @} */
 
     /** @name Hooks: forward to the analyzer, record looper touches
@@ -59,7 +92,8 @@ class McHooks final : public analysis::Hooks
      */
     void onLooperCreated(Looper &looper) override;
     void onLooperDestroyed(Looper &looper) override;
-    void onMessageSend(Looper &target, std::uint64_t msg_id) override;
+    void onMessageSend(Looper &target, std::uint64_t msg_id, SimTime when,
+                       const std::string &tag) override;
     void onDispatchBegin(Looper &looper, std::uint64_t msg_id,
                          const std::string &tag) override;
     void onDispatchEnd(Looper &looper) override;
@@ -81,6 +115,7 @@ class McHooks final : public analysis::Hooks
   private:
     std::unique_ptr<analysis::Analyzer> analyzer_;
     std::set<std::string> footprint_;
+    SegmentSummary segment_;
 };
 
 /**

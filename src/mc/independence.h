@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Derive a (partial) static independence spec for one corpus app from
+ * its declarative AppSpec — the bridge between the MHP analysis'
+ * per-model concurrency graph and the runtime step classes the
+ * differential harness's app scenarios actually dispatch.
+ *
+ * The derived spec is never closed-world: app scenarios inject
+ * configuration changes, which are global. It still sharpens sleep-set
+ * wakes for the classes it does know — the AsyncTask worker step, the
+ * main-looper completion (writes the captured view tree only when the
+ * app holds raw references), and RCHDroid's GC tick.
+ */
+#ifndef RCHDROID_MC_INDEPENDENCE_H
+#define RCHDROID_MC_INDEPENDENCE_H
+
+#include "apps/app_spec.h"
+#include "sa/mhp.h"
+#include "sa/model_ir.h"
+
+namespace rchdroid::mc {
+
+/** Derive the partial spec for one app under one handling model. */
+sa::IndependenceSpec independenceForApp(const apps::AppSpec &spec,
+                                        sa::HandlingModel handling);
+
+} // namespace rchdroid::mc
+
+#endif // RCHDROID_MC_INDEPENDENCE_H

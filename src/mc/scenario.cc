@@ -212,6 +212,43 @@ rchOptions(RchConfig rch = {})
     return options;
 }
 
+/** One independence-spec class (sa/mhp.h). */
+sa::StepClass
+stepClass(std::string process, std::string looper, std::string tag,
+          sa::LocationMask reads = 0, sa::LocationMask writes = 0)
+{
+    sa::StepClass step;
+    step.process = std::move(process);
+    step.looper = std::move(looper);
+    step.tag = std::move(tag);
+    step.reads = reads;
+    step.writes = writes;
+    return step;
+}
+
+/**
+ * The AsyncTask + GC-tick class vocabulary of one RCHDroid app process:
+ * the worker-side doInBackground (touches nothing shared), the
+ * main-looper completion (writes the captured view tree when the app
+ * holds raw references), and the shadow GC tick (may destroy the same
+ * tree). Used both as a closed-world spec (gc_tuning) and as partial
+ * guidance (photo_gallery, seeded_gc).
+ */
+void
+addAsyncAppClasses(sa::IndependenceSpec &spec, const std::string &process,
+                   const std::string &task_name)
+{
+    spec.classes.push_back(stepClass(process, process + ".async",
+                                     task_name + ".doInBackground"));
+    spec.classes.push_back(stepClass(process, process + ".main",
+                                     task_name + ".onPostExecute",
+                                     /*reads=*/0,
+                                     /*writes=*/sa::kViewsBit));
+    spec.classes.push_back(stepClass(process, process + ".main", "gcTick",
+                                     /*reads=*/0,
+                                     /*writes=*/sa::kViewsBit));
+}
+
 /** Post a chain of `remaining` zero-cost callbacks onto `thread`. */
 void
 pingChain(ActivityThread &thread, int remaining)
@@ -222,6 +259,24 @@ pingChain(ActivityThread &thread, int remaining)
                 pingChain(thread, remaining - 1);
         },
         0, "ping");
+}
+
+/**
+ * Post a 1 s-period callback chain whose due times sit exactly on the
+ * grid (zero cost, absolute re-post): chains started at the same
+ * instant in two processes tie at every second.
+ */
+void
+pulseChain(sim::AndroidSystem &device, const std::string &process,
+           int remaining)
+{
+    device.installedProcess(process).thread->postAppCallbackAt(
+        device.scheduler().now() + seconds(1),
+        [&device, process, remaining] {
+            if (remaining > 1)
+                pulseChain(device, process, remaining - 1);
+        },
+        0, "pulse");
 }
 
 std::optional<std::string>
@@ -357,6 +412,9 @@ photoGalleryScenario()
         [](sim::AndroidSystem &device) -> std::optional<std::string> {
         return aliveWithForeground(device, kPhotosProcess);
     };
+    // Partial guidance: injections keep the window open-world, but the
+    // task/tick classes still refine sleep-set wakes.
+    addAsyncAppClasses(s.independence, kPhotosProcess, "thumbnailLoader");
     return s;
 }
 
@@ -411,23 +469,46 @@ gcTuningScenario()
 {
     Scenario s;
     s.name = "gc_tuning";
-    s.description = "benchmark app under the paper's GC policy with a "
-                    "1 s tick; ticks interleave with rotations and a "
-                    "5 s AsyncTask";
+    s.description = "one rotated benchmark process (1 s GC ticks plus a "
+                    "4.5 s AsyncTask) next to two lock-step pulse "
+                    "processes: the window is fully process-isolated, "
+                    "so the static oracle's persistent sets collapse "
+                    "the pulse tree";
     s.make_options = [] {
         RchConfig rch; // paper defaults: THRESH_T keeps the shadow
         rch.gc_interval = seconds(1);
         return rchOptions(rch);
     };
     s.setup = [](sim::AndroidSystem &device) {
-        const auto spec = apps::makeBenchmarkApp(4, seconds(5));
-        device.install(spec);
-        device.launch(spec);
-        device.clickUpdateButton(spec); // issues the AsyncTask
-        device.runFor(milliseconds(100));
+        // Pulse processes first: the benchmark launched last keeps the
+        // foreground, so only it handles the rotation (shadow + ticks).
+        for (int i = 0; i < 2; ++i) {
+            const std::string process =
+                "com.example.pulse" + std::to_string(i);
+            const std::string component = process + "/.PulseActivity";
+            sim::CustomAppParams params;
+            params.process = process;
+            params.component = component;
+            params.factory = [component] {
+                return std::make_unique<McPingActivity>(component);
+            };
+            device.installCustom(params);
+            device.launchProcess(process);
+        }
+        const auto bench = apps::makeBenchmarkApp(4, milliseconds(4500));
+        device.install(bench);
+        device.launch(bench);
+        device.rotate(); // shadow forms; the GC tick grid arms
+        device.runFor(milliseconds(500)); // drain the sunny start
+        device.clickUpdateButton(bench);  // 4.5 s task off the grid
+        device.runFor(milliseconds(10));
+        // Started back to back at the same instant, the two chains'
+        // absolute due times tie at every second of the window.
+        for (int i = 0; i < 2; ++i)
+            pulseChain(device, "com.example.pulse" + std::to_string(i),
+                       10);
     };
-    s.injections = {InjectionKind::Rotate};
-    s.max_injections = 2;
+    s.injections = {};
     s.horizon = seconds(12);
     s.tail = seconds(6);
     s.final_check =
@@ -439,6 +520,17 @@ gcTuningScenario()
         }
         return std::nullopt;
     };
+    // Closed world: inside the window only the benchmark's GC ticks and
+    // AsyncTask steps plus the two pulse chains run, and none of them
+    // crosses processes.
+    s.independence.closed_world = true;
+    addAsyncAppClasses(s.independence, "com.eval.Benchmark4",
+                       "Benchmark4#task0");
+    for (int i = 0; i < 2; ++i) {
+        const std::string process = "com.example.pulse" + std::to_string(i);
+        s.independence.classes.push_back(
+            stepClass(process, process + ".main", "pulse"));
+    }
     return s;
 }
 
@@ -479,6 +571,10 @@ seededGcScenario()
     s.max_injections = 3;
     s.horizon = seconds(6);
     s.tail = seconds(6);
+    // Same partial vocabulary as photo_gallery. The collect path fires
+    // a sync barrier, which poisons its segment for both the dynamic
+    // and the static check — the seeded bug stays reachable.
+    addAsyncAppClasses(s.independence, kPhotosProcess, "thumbnailLoader");
     return s;
 }
 
@@ -523,6 +619,13 @@ reductionDemoScenario()
     s.injections = {};
     s.horizon = seconds(1);
     s.tail = milliseconds(10);
+    // Closed world: only the three ping chains run, one per process.
+    s.independence.closed_world = true;
+    for (int i = 0; i < 3; ++i) {
+        const std::string process = "com.example.ping" + std::to_string(i);
+        s.independence.classes.push_back(
+            stepClass(process, process + ".main", "ping"));
+    }
     return s;
 }
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "sa/mhp.h"
 #include "sim/android_system.h"
 
 namespace rchdroid::mc {
@@ -76,6 +77,14 @@ struct Scenario
      */
     std::function<std::optional<std::string>(sim::AndroidSystem &)>
         final_check;
+    /**
+     * The static independence oracle for this workload (sa/mhp.h).
+     * Empty = no static guidance; the explorer then runs classical
+     * unguided DPOR. Spec authors carry the soundness obligations
+     * documented on sa::IndependenceSpec; the guided-vs-unguided
+     * equivalence CTest cross-checks them.
+     */
+    sa::IndependenceSpec independence;
 };
 
 /** Look up a scenario; null when the name is unknown. */

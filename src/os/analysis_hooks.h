@@ -23,6 +23,7 @@
 #include <string>
 
 #include "platform/compiler.h"
+#include "platform/time.h"
 
 namespace rchdroid {
 
@@ -55,10 +56,13 @@ class Hooks
      * A message was enqueued to `target`. The sending thread, if any, is
      * Looper::current() at call time; enqueues from outside any dispatch
      * (harness code, raw scheduler events) have no sender and create no
-     * happens-before edge.
+     * happens-before edge. `when` is the (clamped) due time the queue
+     * will order it by and `tag` its debug tag — the model checker uses
+     * both to recognise same-slot post collisions (DESIGN.md §14).
      */
-    virtual void onMessageSend(Looper &target, std::uint64_t msg_id)
-    { (void)target; (void)msg_id; }
+    virtual void onMessageSend(Looper &target, std::uint64_t msg_id,
+                               SimTime when, const std::string &tag)
+    { (void)target; (void)msg_id; (void)when; (void)tag; }
     /** `looper` began dispatching the message `msg_id`. */
     virtual void onDispatchBegin(Looper &looper, std::uint64_t msg_id,
                                  const std::string &tag)

@@ -33,7 +33,7 @@ Looper::enqueue(Message msg)
     msg.when = std::max(msg.when, scheduler_.now());
     msg.analysis_id = ++next_msg_id_;
     if (auto *hooks = analysis::hooks())
-        hooks->onMessageSend(*this, msg.analysis_id);
+        hooks->onMessageSend(*this, msg.analysis_id, msg.when, msg.tag);
 #if RCHDROID_TRACING
     // Producer side of the causal flow edge. Three cases:
     //  - posted from inside some looper's dispatch: fresh flow id, and

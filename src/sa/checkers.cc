@@ -1,5 +1,7 @@
 #include "sa/checkers.h"
 
+#include "sa/mhp.h"
+
 namespace rchdroid::sa {
 
 const char *
@@ -236,6 +238,72 @@ checkRchEligibility(const CheckInput &input)
     return findings;
 }
 
+/**
+ * MHP-backed race checker. Builds each model's concurrency graph,
+ * closes happens-before, and reports MHP pairs whose location masks
+ * conflict.
+ *
+ * Per handling model:
+ *  - Stock: an async completion racing the restart teardown is exactly
+ *    the Fig. 1 crash (Error, dynamically checkable). By construction
+ *    this agrees with stale_reference's predicate — the graph has an
+ *    async node iff has_task, a raw-ref completion writes the captured
+ *    tree iff capture == RawViewRef, !may_straddle adds the
+ *    completion→change edge and cancels_on_stop the completion→onStop
+ *    edge, and the in-place model has no DestroyViews node at all.
+ *  - RCHDroid: the completion may race the shadow GC's CollectShadow
+ *    teardown. The gc policy guards this window (thresh_t keeps a
+ *    young shadow alive, and releaseShadow runs behind a sync
+ *    barrier), so it is a Warning and not dynamically checkable.
+ *  - Migrate × CollectShadow MHP pairs exist in the rch graph (the
+ *    ShadowAlive fork makes them branch-parallel) but the two arms are
+ *    mutually exclusive at runtime — one shadow either migrates or is
+ *    collected — so they are suppressed here; racePairs still returns
+ *    them for the graph dump.
+ */
+std::vector<Finding>
+checkAsyncRace(const CheckInput &input)
+{
+    std::vector<Finding> findings;
+
+    auto scan = [&](const AppModel &model, const FlowSolution &flow) {
+        const ConcurrencyGraph graph = buildConcurrencyGraph(model, flow);
+        const MhpResult mhp = computeMhp(graph);
+        for (const RacePair &pair : racePairs(graph, mhp)) {
+            const CgNode &a = graph.nodes[pair.a];
+            const CgNode &b = graph.nodes[pair.b];
+            const bool async_involved = a.is_async || b.is_async;
+            if (!async_involved)
+                continue; // branch-parallel lifecycle arms (see above)
+            Finding finding;
+            finding.checker = "async_race";
+            finding.handling = model.handling;
+            finding.location = a.label + " || " + b.label;
+            if (model.handling == HandlingModel::Stock) {
+                finding.severity = Severity::Error;
+                finding.dynamically_checkable = true;
+                finding.message =
+                    "async completion may happen in parallel with the "
+                    "restart teardown and touch ";
+                finding.message += maskToString(model, pair.locations);
+            } else {
+                finding.severity = Severity::Warning;
+                finding.dynamically_checkable = false;
+                finding.message =
+                    "async completion is unordered with shadow GC over ";
+                finding.message += maskToString(model, pair.locations);
+                finding.message +=
+                    " (policy-guarded: thresh_t + sync barrier)";
+            }
+            findings.push_back(std::move(finding));
+        }
+    };
+
+    scan(*input.stock, *input.stock_flow);
+    scan(*input.rch, *input.rch_flow);
+    return findings;
+}
+
 // tools/lint_rules.py parses this table: every row's name must have a
 // matching tests/sa/checker_<name>_test.cc.
 const std::vector<CheckerInfo> kCheckers = {
@@ -249,6 +317,9 @@ const std::vector<CheckerInfo> kCheckers = {
      checkConfigDecl},
     {"rch_eligibility",
      "can RCHDroid transparently fix this app?", checkRchEligibility},
+    {"async_race",
+     "MHP pairs with conflicting write/teardown location masks",
+     checkAsyncRace},
 };
 
 } // namespace

@@ -40,7 +40,8 @@ compareOne(const AppVerdict &verdict, const DynamicObservation &observation)
         bool hit = false;
         if (finding.checker == "data_loss") {
             hit = !observation.state_preserved;
-        } else if (finding.checker == "stale_reference") {
+        } else if (finding.checker == "stale_reference" ||
+                   finding.checker == "async_race") {
             hit = observation.crashed ||
                   observation.stale_view_mutations > 0;
         } else {

@@ -1,0 +1,372 @@
+#include "sa/mhp.h"
+
+namespace rchdroid::sa {
+
+LocationMask
+locationBit(std::size_t index)
+{
+    return index < 31 ? (LocationMask{1} << index) : kViewsBit;
+}
+
+std::string
+maskToString(const AppModel &model, LocationMask mask)
+{
+    std::string out;
+    for (std::size_t i = 0; i < model.locations.size() && i < 31; ++i) {
+        if ((mask & locationBit(i)) == 0)
+            continue;
+        if (!out.empty())
+            out += ", ";
+        out += model.locations[i].name;
+    }
+    if (mask & kViewsBit) {
+        if (!out.empty())
+            out += ", ";
+        out += "captured views";
+    }
+    return out.empty() ? "none" : out;
+}
+
+const char *
+cgEdgeKindName(CgEdgeKind kind)
+{
+    switch (kind) {
+      case CgEdgeKind::Program: return "program";
+      case CgEdgeKind::PostReply: return "post";
+      case CgEdgeKind::Lifecycle: return "lifecycle";
+    }
+    return "?";
+}
+
+int
+ConcurrencyGraph::node(const std::string &label) const
+{
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].label == label)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::string
+ConcurrencyGraph::describe() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const CgNode &node = nodes[i];
+        out += "  [";
+        out += std::to_string(i);
+        out += "] ";
+        out += node.label;
+        out += node.looper == CgLooper::Main ? " (main" : " (worker";
+        if (node.is_async)
+            out += ", async";
+        out += ")";
+        if (node.reads || node.writes || node.teardown) {
+            out += " r=0x";
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "%x", node.reads);
+            out += buf;
+            std::snprintf(buf, sizeof buf, " w=0x%x", node.writes);
+            out += buf;
+            std::snprintf(buf, sizeof buf, " t=0x%x", node.teardown);
+            out += buf;
+        }
+        out += "\n";
+    }
+    for (const CgEdge &edge : edges) {
+        out += "  ";
+        out += nodes[edge.from].label;
+        out += " -> ";
+        out += nodes[edge.to].label;
+        out += " (";
+        out += cgEdgeKindName(edge.kind);
+        out += ")\n";
+    }
+    return out;
+}
+
+namespace {
+
+/** All location bits of the model (view-backed user state). */
+LocationMask
+allLocations(const AppModel &model)
+{
+    LocationMask mask = 0;
+    for (std::size_t i = 0; i < model.locations.size(); ++i)
+        mask |= locationBit(i);
+    return mask;
+}
+
+/** Locations whose fact at `node` includes `residence`. */
+LocationMask
+locationsWithFact(const AppModel &model, const FlowSolution &flow,
+                  LcNode node, StateFact residence)
+{
+    LocationMask mask = 0;
+    for (std::size_t i = 0; i < model.locations.size(); ++i) {
+        if ((flow.at(node, i) & residence) != 0)
+            mask |= locationBit(i);
+    }
+    return mask;
+}
+
+void
+applyEffectMasks(CgNode &node, const LcEdge &edge, const AppModel &model,
+                 const FlowSolution &flow, bool original_instance)
+{
+    switch (edge.effect) {
+      case EdgeEffect::None:
+        break;
+      case EdgeEffect::Materialize:
+        // Building a view tree writes every view-backed location of
+        // the instance being built; only the original instance is the
+        // one async captures may target.
+        node.writes |= allLocations(model);
+        if (original_instance)
+            node.writes |= kViewsBit;
+        break;
+      case EdgeEffect::SaveDefault:
+      case EdgeEffect::SaveFull:
+        node.reads |= allLocations(model);
+        break;
+      case EdgeEffect::DestroyViews:
+        // The restart teardown destroys the old instance's tree and,
+        // with it, every location still Live there.
+        node.teardown |=
+            kViewsBit | locationsWithFact(model, flow, edge.from, kLive);
+        break;
+      case EdgeEffect::EnterShadow:
+        break;
+      case EdgeEffect::Restore:
+        node.writes |= allLocations(model);
+        break;
+      case EdgeEffect::Migrate:
+        // Lazy migration reads the parked shadow tree into the sunny
+        // instance's views.
+        node.reads |= kViewsBit;
+        node.writes |= allLocations(model);
+        break;
+      case EdgeEffect::CollectShadow:
+        // Shadow GC destroys the parked tree and every location whose
+        // surviving copy is the shadow residence.
+        node.teardown |=
+            kViewsBit | locationsWithFact(model, flow, edge.from, kShadow);
+        break;
+    }
+}
+
+} // namespace
+
+ConcurrencyGraph
+buildConcurrencyGraph(const AppModel &model, const FlowSolution &flow)
+{
+    ConcurrencyGraph graph;
+
+    // One node per lifecycle CFG edge (= one callback execution on the
+    // main looper), dropping the NextResumed → ConfigDispatch back edge
+    // so the graph models exactly one runtime change and stays acyclic.
+    std::vector<const LcEdge *> lc_edges;
+    for (const LcEdge &edge : model.edges) {
+        if (edge.to == LcNode::ConfigDispatch &&
+            edge.from == LcNode::NextResumed)
+            continue;
+        lc_edges.push_back(&edge);
+    }
+
+    std::vector<int> node_of(lc_edges.size(), -1);
+    for (std::size_t i = 0; i < lc_edges.size(); ++i) {
+        const LcEdge &edge = *lc_edges[i];
+        CgNode node;
+        node.label = edge.label;
+        node.looper = CgLooper::Main;
+        applyEffectMasks(node, edge, model, flow,
+                         /*original_instance=*/edge.from == LcNode::Launched);
+        node_of[i] = static_cast<int>(graph.nodes.size());
+        graph.nodes.push_back(std::move(node));
+    }
+
+    // Lifecycle ordering: callback of edge A precedes callback of edge
+    // B whenever A ends where B begins. This follows the CFG through
+    // branches (the RCH path forks at ShadowAlive).
+    for (std::size_t i = 0; i < lc_edges.size(); ++i) {
+        for (std::size_t j = 0; j < lc_edges.size(); ++j) {
+            if (i != j && lc_edges[i]->to == lc_edges[j]->from)
+                graph.edges.push_back(
+                    {node_of[i], node_of[j], CgEdgeKind::Lifecycle});
+        }
+    }
+
+    if (model.async.has_task) {
+        const int change = graph.node("runtime change");
+        const int resume = graph.node("onResume");
+
+        CgNode execute;
+        execute.label = "AsyncTask.execute";
+        execute.looper = CgLooper::Main;
+        execute.is_async = true;
+        const int execute_id = static_cast<int>(graph.nodes.size());
+        graph.nodes.push_back(std::move(execute));
+
+        CgNode background;
+        background.label = "AsyncTask.doInBackground";
+        background.looper = CgLooper::Worker;
+        background.is_async = true;
+        const int background_id = static_cast<int>(graph.nodes.size());
+        graph.nodes.push_back(std::move(background));
+
+        CgNode done;
+        done.label = "AsyncTask.onPostExecute";
+        done.looper = CgLooper::Main;
+        done.is_async = true;
+        if (model.async.capture == AsyncCapture::RawViewRef) {
+            // Fig. 1 anti-pattern: raw references into the captured
+            // instance's tree. ViewId re-resolves through the live
+            // tree, so it never writes the old instance.
+            done.writes |= kViewsBit;
+        }
+        const int done_id = static_cast<int>(graph.nodes.size());
+        graph.nodes.push_back(std::move(done));
+
+        // The task starts from the resumed instance, before the change
+        // (the §6 methodology seeds state while Resumed).
+        if (resume >= 0)
+            graph.edges.push_back(
+                {resume, execute_id, CgEdgeKind::Program});
+        graph.edges.push_back(
+            {execute_id, background_id, CgEdgeKind::PostReply});
+        graph.edges.push_back(
+            {background_id, done_id, CgEdgeKind::PostReply});
+
+        if (!model.async.may_straddle_change && change >= 0) {
+            // Zero-duration task: its completion is already dispatched
+            // when the change can arrive.
+            graph.edges.push_back(
+                {done_id, change, CgEdgeKind::Program});
+        }
+        if (model.async.cancels_on_stop) {
+            // onStop cancels the task, so a completion that runs at
+            // all ran before onStop's teardown successor.
+            const int stop = graph.node("onStop");
+            if (stop >= 0)
+                graph.edges.push_back(
+                    {done_id, stop, CgEdgeKind::Program});
+        }
+    }
+    return graph;
+}
+
+MhpResult
+computeMhp(const ConcurrencyGraph &graph)
+{
+    MhpResult result;
+    result.node_count = graph.nodes.size();
+    result.reach.assign(result.node_count,
+                        std::vector<bool>(result.node_count, false));
+
+    // Worklist-free fixpoint: sweep the edge list, folding each edge's
+    // target closure into its source, until a full pass changes
+    // nothing. The graphs are tiny (≤ ~20 nodes), so this converges in
+    // a handful of passes; `iterations` counts them for the tests.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++result.iterations;
+        for (const CgEdge &edge : graph.edges) {
+            std::vector<bool> &from = result.reach[edge.from];
+            if (!from[edge.to]) {
+                from[edge.to] = true;
+                changed = true;
+            }
+            const std::vector<bool> &to = result.reach[edge.to];
+            for (std::size_t k = 0; k < result.node_count; ++k) {
+                if (to[k] && !from[k]) {
+                    from[k] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<RacePair>
+racePairs(const ConcurrencyGraph &graph, const MhpResult &mhp)
+{
+    std::vector<RacePair> pairs;
+    for (std::size_t a = 0; a < graph.nodes.size(); ++a) {
+        for (std::size_t b = a + 1; b < graph.nodes.size(); ++b) {
+            if (!mhp.mhp(a, b))
+                continue;
+            const CgNode &na = graph.nodes[a];
+            const CgNode &nb = graph.nodes[b];
+            // Conflict: a destructive or plain write on one side meets
+            // any access on the other.
+            const LocationMask a_dest = na.writes | na.teardown;
+            const LocationMask b_dest = nb.writes | nb.teardown;
+            const LocationMask clash =
+                (a_dest & (b_dest | nb.reads)) | (b_dest & na.reads);
+            if (clash == 0)
+                continue;
+            RacePair pair;
+            pair.a = static_cast<int>(a);
+            pair.b = static_cast<int>(b);
+            pair.locations = clash;
+            pair.teardown = (na.teardown & (b_dest | nb.reads)) != 0 ||
+                            (nb.teardown & (a_dest | na.reads)) != 0;
+            pairs.push_back(pair);
+        }
+    }
+    return pairs;
+}
+
+const StepClass *
+IndependenceSpec::find(const std::string &key) const
+{
+    for (const StepClass &step : classes) {
+        if (step.key() == key)
+            return &step;
+    }
+    return nullptr;
+}
+
+const std::string *
+IndependenceSpec::looperProcess(const std::string &looper) const
+{
+    for (const StepClass &step : classes) {
+        if (step.looper == looper && !step.global)
+            return &step.process;
+    }
+    return nullptr;
+}
+
+bool
+IndependenceSpec::processIsolated() const
+{
+    if (!closed_world || classes.empty())
+        return false;
+    for (const StepClass &step : classes) {
+        if (step.global)
+            return false;
+    }
+    return true;
+}
+
+bool
+IndependenceSpec::independentClasses(const StepClass &a,
+                                     const StepClass &b) const
+{
+    if (a.global || b.global)
+        return false;
+    if (a.looper == b.looper) {
+        // One queue serialises them and the order is observable (which
+        // message ran first is part of the state).
+        return false;
+    }
+    if (a.process != b.process)
+        return true; // isolation is the spec author's obligation
+    return (a.writes & (b.reads | b.writes)) == 0 &&
+           (b.writes & a.reads) == 0;
+}
+
+} // namespace rchdroid::sa

@@ -95,7 +95,8 @@ foldPrediction(HandlingModel handling, const std::vector<Finding> &findings)
             continue;
         if (finding.checker == "data_loss")
             prediction.state_preserved = false;
-        else if (finding.checker == "stale_reference")
+        else if (finding.checker == "stale_reference" ||
+                 finding.checker == "async_race")
             prediction.crash_predicted = true;
     }
     return prediction;

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * async_race checker: the MHP-based mirror of stale_reference. The
+ * checker reports a pair of concurrency-graph nodes (completion ||
+ * teardown) instead of a lifecycle predicate, but on the straddling
+ * matrix the two checkers must agree: a stock Error appears exactly
+ * when the raw-capture task straddles the change, and RCHDroid demotes
+ * the pair to a policy-guarded Warning.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sa/verdict.h"
+
+namespace rchdroid::sa {
+namespace {
+
+apps::AppSpec
+asyncSpec()
+{
+    apps::AppSpec spec;
+    spec.name = "AsyncRaceApp";
+    spec.critical = apps::CriticalState::None;
+    spec.async.trigger = apps::AsyncTrigger::OnButtonClick;
+    spec.async.duration = seconds(5);
+    return spec;
+}
+
+bool
+hasFinding(const AppVerdict &verdict, HandlingModel handling,
+           Severity severity)
+{
+    return std::any_of(
+        verdict.findings.begin(), verdict.findings.end(),
+        [&](const Finding &f) {
+            return f.checker == "async_race" && f.handling == handling &&
+                   f.severity == severity;
+        });
+}
+
+TEST(AsyncRaceChecker, TruePositiveUndisciplinedStraddlingTask)
+{
+    const AppVerdict verdict = analyzeApp(asyncSpec());
+    EXPECT_TRUE(hasFinding(verdict, HandlingModel::Stock,
+                           Severity::Error));
+    EXPECT_TRUE(verdict.stock.crash_predicted);
+}
+
+TEST(AsyncRaceChecker, StockErrorNamesBothNodesAndTheLocations)
+{
+    const AppVerdict verdict = analyzeApp(asyncSpec());
+    const auto finding = std::find_if(
+        verdict.findings.begin(), verdict.findings.end(),
+        [](const Finding &f) {
+            return f.checker == "async_race" &&
+                   f.handling == HandlingModel::Stock;
+        });
+    ASSERT_NE(finding, verdict.findings.end());
+    // "a || b" location: the unordered pair itself, not a CFG point.
+    EXPECT_NE(finding->location.find(" || "), std::string::npos);
+    EXPECT_NE(finding->location.find("onPostExecute"), std::string::npos);
+    EXPECT_TRUE(finding->dynamically_checkable);
+    EXPECT_NE(finding->message.find("teardown"), std::string::npos);
+}
+
+TEST(AsyncRaceChecker, RchDemotesThePairToAPolicyGuardedWarning)
+{
+    const AppVerdict verdict = analyzeApp(asyncSpec());
+    EXPECT_TRUE(hasFinding(verdict, HandlingModel::RchDroid,
+                           Severity::Warning));
+    EXPECT_FALSE(hasFinding(verdict, HandlingModel::RchDroid,
+                            Severity::Error));
+    // Warnings never fold into the rchdroid-mode crash prediction.
+    EXPECT_FALSE(verdict.rch.crash_predicted);
+}
+
+TEST(AsyncRaceChecker, TrueNegativeDisciplinedTask)
+{
+    apps::AppSpec spec = asyncSpec();
+    spec.async.cancels_on_stop = true;
+    const AppVerdict verdict = analyzeApp(spec);
+    EXPECT_FALSE(hasFinding(verdict, HandlingModel::Stock,
+                            Severity::Error));
+}
+
+TEST(AsyncRaceChecker, TrueNegativeNoTask)
+{
+    apps::AppSpec spec = asyncSpec();
+    spec.async.trigger = apps::AsyncTrigger::Never;
+    const AppVerdict verdict = analyzeApp(spec);
+    for (const Finding &finding : verdict.findings)
+        EXPECT_NE(finding.checker, "async_race");
+}
+
+TEST(AsyncRaceChecker, TrueNegativeInstantTaskCannotStraddle)
+{
+    apps::AppSpec spec = asyncSpec();
+    spec.async.duration = seconds(0);
+    const AppVerdict verdict = analyzeApp(spec);
+    EXPECT_FALSE(hasFinding(verdict, HandlingModel::Stock,
+                            Severity::Error));
+}
+
+TEST(AsyncRaceChecker, TrueNegativePatchedIdCapture)
+{
+    apps::AppSpec spec = asyncSpec();
+    spec.runtimedroid_patched = true;
+    const AppVerdict verdict = analyzeApp(spec);
+    // An id re-resolved through the live tree writes nothing into the
+    // captured instance: the MHP pair may survive, the clash must not.
+    EXPECT_FALSE(hasFinding(verdict, HandlingModel::Stock,
+                            Severity::Error));
+}
+
+TEST(AsyncRaceChecker, AgreesWithStaleReferenceAcrossTheMatrix)
+{
+    // The structural claim the checker's doc comment makes: on every
+    // cell of the straddling matrix, "MHP pair with a location clash"
+    // and "captures straddle the change" are the same predicate.
+    for (const bool cancels : {false, true}) {
+        for (const bool patched : {false, true}) {
+            for (const bool declares : {false, true}) {
+                apps::AppSpec spec = asyncSpec();
+                spec.async.cancels_on_stop = cancels;
+                spec.runtimedroid_patched = patched;
+                spec.handles_config_changes = declares;
+                const AppVerdict verdict = analyzeApp(spec);
+                const bool stale = std::any_of(
+                    verdict.findings.begin(), verdict.findings.end(),
+                    [](const Finding &f) {
+                        return f.checker == "stale_reference" &&
+                               f.severity == Severity::Error;
+                    });
+                EXPECT_EQ(hasFinding(verdict, HandlingModel::Stock,
+                                     Severity::Error),
+                          stale)
+                    << "cancels=" << cancels << " patched=" << patched
+                    << " declares=" << declares;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace rchdroid::sa

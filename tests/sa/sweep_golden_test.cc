@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden-file pin of the full-corpus sweep: the exact JSON document
+ * rchdroid_sa emits for all 132 corpus apps, byte for byte. Any checker
+ * change that moves a verdict shows up as a readable JSON diff here
+ * instead of a silently shifted CI artifact.
+ *
+ * After an intentional change, regenerate with
+ *
+ *   RCHDROID_UPDATE_GOLDEN=1 ./tests/sa/sweep_golden_test
+ *
+ * and review the diff of tests/sa/sweep_golden.json like any other
+ * source change.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sa/sweep.h"
+
+namespace rchdroid::sa {
+namespace {
+
+std::string
+goldenPath()
+{
+    return RCHDROID_SWEEP_GOLDEN;
+}
+
+TEST(SweepGolden, FullCorpusJsonMatchesTheCheckedInDocument)
+{
+    const std::string actual = sweep(fullCorpus()).toJson();
+
+    if (std::getenv("RCHDROID_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << actual;
+        GTEST_SKIP() << "golden regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << " — run with RCHDROID_UPDATE_GOLDEN=1 once";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string expected = buffer.str();
+
+    // One byte-exact comparison; on mismatch, point at the first
+    // diverging line so the failure reads like a diff hunk header.
+    if (actual != expected) {
+        std::size_t line = 1, at = 0;
+        const std::size_t limit = std::min(actual.size(), expected.size());
+        while (at < limit && actual[at] == expected[at]) {
+            if (actual[at] == '\n')
+                ++line;
+            ++at;
+        }
+        FAIL() << "sweep JSON diverges from the golden at line " << line
+               << " (byte " << at << ") — if the verdict change is "
+               << "intentional, regenerate with RCHDROID_UPDATE_GOLDEN=1 "
+               << "and review the JSON diff";
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace rchdroid::sa

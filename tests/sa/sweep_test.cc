@@ -80,7 +80,7 @@ TEST(Sweep, VerdictJsonCarriesBothModePredictions)
 TEST(Registry, EveryCheckerHasNameSummaryAndFunction)
 {
     const std::vector<CheckerInfo> &registry = checkerRegistry();
-    ASSERT_EQ(registry.size(), 4u);
+    ASSERT_EQ(registry.size(), 5u);
     std::set<std::string> names;
     for (const CheckerInfo &checker : registry) {
         EXPECT_NE(checker.name, nullptr);
@@ -93,6 +93,7 @@ TEST(Registry, EveryCheckerHasNameSummaryAndFunction)
     EXPECT_TRUE(names.count("stale_reference"));
     EXPECT_TRUE(names.count("config_decl"));
     EXPECT_TRUE(names.count("rch_eligibility"));
+    EXPECT_TRUE(names.count("async_race"));
 }
 
 TEST(Registry, EveryFindingNamesARegisteredChecker)

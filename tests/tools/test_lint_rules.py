@@ -169,6 +169,35 @@ class LintRulesTest(unittest.TestCase):
         code, errors = self.repo.lint()
         self.assertEqual(code, 0)
 
+    def test_mc_seam_rule_blocks_framework_internals(self):
+        self.repo.write("src/mc/bad.cc",
+                        '#include "app/activity_thread.h"\n'
+                        '#include "rch/policy.h"\n')
+        code, errors = self.repo.lint()
+        self.assertEqual(code, 1)
+        self.assertEqual(self.rules(errors), ["mc-seam", "mc-seam"])
+
+    def test_mc_seam_rule_allows_the_bridge_layers(self):
+        # mc/ is the sanctioned sa/-to-simulator bridge: both sides of
+        # the seam (plus the facade layers) are reachable.
+        self.repo.write("src/mc/good.cc",
+                        '#include "mc/explorer.h"\n'
+                        '#include "sa/mhp.h"\n'
+                        '#include "sim/android_system.h"\n'
+                        '#include "os/looper.h"\n'
+                        '#include "analysis/analyzer.h"\n'
+                        '#include "apps/app_spec.h"\n'
+                        '#include "platform/time.h"\n'
+                        '#include "view/view_group.h"\n')
+        code, errors = self.repo.lint()
+        self.assertEqual(code, 0)
+
+    def test_mc_seam_include_in_comment_is_exempt(self):
+        self.repo.write("src/mc/doc.cc",
+                        '// #include "app/activity.h" would be a leak\n')
+        code, errors = self.repo.lint()
+        self.assertEqual(code, 0)
+
     def test_checker_tests_rule_fires_on_missing_test_file(self):
         os.remove(os.path.join(
             self.repo.root, "tests/sa/checker_stale_reference_test.cc"))

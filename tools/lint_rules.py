@@ -58,6 +58,16 @@ the same one-way-arrow argument as sa-seam: the profiler analyzes
 recorded behaviour; an os/ include would let it read simulator state
 the trace does not carry, and the offline CLI (rchdroid_profile) would
 silently diverge from what a trace consumer can reconstruct.
+
+Rule 6 — mc-seam: the model checker (src/mc/) is the one layer allowed
+to bridge the static analyzer and the simulator — that is its job
+(it feeds sa/'s independence relation into DPOR and replays sa/
+predictions against real executions). But the bridge must stay a
+harness: it may include mc/, sa/, platform/, os/, sim/, view/,
+analysis/ and apps/ headers, never app/, ams/, rch/, resources/ or
+baseline/ internals directly. Activity-thread and policy internals are
+reached through the sim/ facade; a direct include would couple the
+checker to framework innards the scheduler seam deliberately hides.
 """
 
 import json
@@ -85,6 +95,11 @@ SA_ALLOWED_INCLUDES = ("sa/", "platform/", "apps/app_spec.h",
 
 #: Include prefixes src/profiling/ may reach (rule 5).
 PROFILING_ALLOWED_INCLUDES = ("profiling/", "platform/")
+
+#: Include prefixes src/mc/ may reach (rule 6). app/, ams/, rch/ and
+#: friends are reached through the sim/ facade only.
+MC_ALLOWED_INCLUDES = ("mc/", "sa/", "platform/", "os/", "sim/",
+                       "view/", "analysis/", "apps/")
 
 SOURCE_SUFFIXES = (".h", ".cc")
 
@@ -202,6 +217,20 @@ def check_file(path, rel, kind_names, errors):
                     f"may only see sa/, platform/ and the spec/model "
                     f"headers ({', '.join(SA_ALLOWED_INCLUDES[2:])}); "
                     f"dynamic harness code belongs in src/mc/"))
+
+    if layer == "mc":
+        for number, line in enumerate(code.splitlines(), 1):
+            match = re.search(r'#\s*include\s*"([^"]+)"', line)
+            if not match:
+                continue
+            include = match.group(1)
+            if not include.startswith(MC_ALLOWED_INCLUDES):
+                errors.append(_error(
+                    rel, number, "mc-seam",
+                    f"model checker includes \"{include}\" — src/mc/ "
+                    f"bridges sa/ and the simulator through "
+                    f"{', '.join(MC_ALLOWED_INCLUDES)} only; framework "
+                    f"internals stay behind the sim/ facade"))
 
     if layer == "profiling":
         for number, line in enumerate(code.splitlines(), 1):

@@ -20,6 +20,12 @@
  *   --oracles=a,b     subset of crash,analysis,gc_live_async,
  *                     saved_restore (default: all)
  *   --naive           disable sleep sets + state hashing (baseline)
+ *   --no-mhp          disable the static independence oracle (classic
+ *                     unguided DPOR; the guided-vs-unguided CI gate
+ *                     compares this against the default)
+ *   --json            machine-readable per-scenario report (stats incl.
+ *                     sleep_skips / visited hits / mhp prunes + wall
+ *                     time) on stdout instead of the text summary
  *   --no-analysis     skip the PR-1 analyzer (faster, fewer oracles)
  *   --no-minimize     report the raw counterexample unminimized
  *   --replay=i,j,k    run ONE schedule instead of exploring; entry k
@@ -29,6 +35,7 @@
  *
  * Exit code: 0 = no violation, 1 = violation found, 2 = usage error.
  */
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -39,6 +46,7 @@
 #include "mc/minimize.h"
 #include "mc/scenario.h"
 #include "platform/tracing.h"
+#include "sa/verdict.h"
 
 using namespace rchdroid;
 
@@ -52,6 +60,8 @@ struct Flags
     std::uint64_t max_states = 50'000;
     std::vector<std::string> oracles;
     bool naive = false;
+    bool use_mhp = true;
+    bool json = false;
     bool run_analysis = true;
     bool minimize = true;
     bool replay = false;
@@ -101,6 +111,10 @@ parseFlags(int argc, char **argv)
             flags.oracles = splitCommas(value("--oracles="));
         } else if (arg == "--naive") {
             flags.naive = true;
+        } else if (arg == "--no-mhp") {
+            flags.use_mhp = false;
+        } else if (arg == "--json") {
+            flags.json = true;
         } else if (arg == "--no-analysis") {
             flags.run_analysis = false;
         } else if (arg == "--no-minimize") {
@@ -200,6 +214,49 @@ runReplay(const Flags &flags, const mc::Scenario &scenario)
     return result.violations.empty() ? 0 : 1;
 }
 
+std::string
+reportJson(const Flags &flags, const mc::Scenario &scenario,
+           const mc::ExplorerReport &report, bool guided, double wall_ms)
+{
+    const mc::ExplorerStats &stats = report.stats;
+    std::string out = "{\"scenario\": \"";
+    out += sa::jsonEscape(scenario.name);
+    out += "\", \"depth\": " + std::to_string(flags.depth);
+    out += ", \"guided\": ";
+    out += guided ? "true" : "false";
+    out += ", \"naive\": ";
+    out += flags.naive ? "true" : "false";
+    out += ", \"schedules_covered\": " +
+           std::to_string(stats.schedules_covered);
+    out += ", \"executions\": " + std::to_string(stats.executions);
+    out += ", \"choice_points\": " + std::to_string(stats.nodes);
+    out += ", \"distinct_states\": " +
+           std::to_string(stats.distinct_states);
+    out += ", \"visited_hits\": " + std::to_string(stats.visited_hits);
+    out += ", \"sleep_skips\": " + std::to_string(stats.sleep_skips);
+    out += ", \"mhp_prunes\": " + std::to_string(stats.mhp_prunes);
+    out += ", \"mhp_sleep_keeps\": " +
+           std::to_string(stats.mhp_sleep_keeps);
+    out += ", \"truncated\": ";
+    out += stats.truncated ? "true" : "false";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, ", \"wall_ms\": %.3f", wall_ms);
+    out += buf;
+    out += ", \"violations\": [";
+    for (std::size_t i = 0; i < report.violations.size(); ++i) {
+        const mc::McViolation &violation = report.violations[i];
+        if (i)
+            out += ", ";
+        out += "{\"oracle\": \"";
+        out += sa::jsonEscape(violation.oracle);
+        out += "\", \"summary\": \"";
+        out += sa::jsonEscape(violation.summary);
+        out += "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
 int
 runExplore(const Flags &flags, const mc::Scenario &scenario)
 {
@@ -210,10 +267,27 @@ runExplore(const Flags &flags, const mc::Scenario &scenario)
     options.oracles = flags.oracles;
     options.run_analysis = flags.run_analysis;
     options.reduction = !flags.naive;
+    const bool guided = flags.use_mhp && !flags.naive &&
+                        !scenario.independence.empty();
+    if (guided)
+        options.independence = &scenario.independence;
+    const auto wall_start = std::chrono::steady_clock::now();
     const mc::ExplorerReport report = mc::explore(options);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
 
-    std::printf("scenario %s, depth %d%s:\n", scenario.name.c_str(),
-                flags.depth, flags.naive ? " (naive DFS)" : "");
+    if (flags.json) {
+        std::printf("%s\n",
+                    reportJson(flags, scenario, report, guided, wall_ms)
+                        .c_str());
+        return report.violations.empty() ? 0 : 1;
+    }
+
+    std::printf("scenario %s, depth %d%s%s:\n", scenario.name.c_str(),
+                flags.depth, flags.naive ? " (naive DFS)" : "",
+                !flags.naive && !guided ? " (unguided DPOR)" : "");
     std::printf("  schedules covered : %llu%s\n",
                 static_cast<unsigned long long>(
                     report.stats.schedules_covered),
@@ -232,6 +306,15 @@ runExplore(const Flags &flags, const mc::Scenario &scenario)
     std::printf("  sleep-set skips   : %llu\n",
                 static_cast<unsigned long long>(
                     report.stats.sleep_skips));
+    if (guided) {
+        std::printf("  mhp prunes        : %llu\n",
+                    static_cast<unsigned long long>(
+                        report.stats.mhp_prunes));
+        std::printf("  mhp sleep keeps   : %llu\n",
+                    static_cast<unsigned long long>(
+                        report.stats.mhp_sleep_keeps));
+    }
+    std::printf("  wall time         : %.1f ms\n", wall_ms);
 
     if (report.violations.empty()) {
         std::printf("  no violations\n");
