@@ -1,0 +1,390 @@
+#include "mc/snapshot_session.h"
+
+#include <cstring>
+
+#include "platform/logging.h"
+
+namespace rchdroid::mc {
+
+namespace {
+
+/** Little-endian append-only writer for the result/schedule codec. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t value)
+    {
+        out_.push_back(static_cast<char>(value));
+    }
+
+    void
+    u32(std::uint32_t value)
+    {
+        raw(&value, sizeof value);
+    }
+
+    void
+    u64(std::uint64_t value)
+    {
+        raw(&value, sizeof value);
+    }
+
+    void
+    i32(std::int32_t value)
+    {
+        raw(&value, sizeof value);
+    }
+
+    void
+    i64(std::int64_t value)
+    {
+        raw(&value, sizeof value);
+    }
+
+    void
+    str(const std::string &value)
+    {
+        u32(static_cast<std::uint32_t>(value.size()));
+        out_.append(value);
+    }
+
+    std::string
+    take()
+    {
+        return std::move(out_);
+    }
+
+  private:
+    void
+    raw(const void *data, std::size_t size)
+    {
+        out_.append(static_cast<const char *>(data), size);
+    }
+
+    std::string out_;
+};
+
+/** Bounds-checked cursor over an encoded payload. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &payload) : payload_(payload) {}
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t value = 0;
+        raw(&value, sizeof value);
+        return value;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t value = 0;
+        raw(&value, sizeof value);
+        return value;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t value = 0;
+        raw(&value, sizeof value);
+        return value;
+    }
+
+    std::int32_t
+    i32()
+    {
+        std::int32_t value = 0;
+        raw(&value, sizeof value);
+        return value;
+    }
+
+    std::int64_t
+    i64()
+    {
+        std::int64_t value = 0;
+        raw(&value, sizeof value);
+        return value;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t size = u32();
+        RCH_ASSERT(pos_ + size <= payload_.size(),
+                   "truncated snapshot payload string");
+        std::string value = payload_.substr(pos_, size);
+        pos_ += size;
+        return value;
+    }
+
+    bool
+    done() const
+    {
+        return pos_ == payload_.size();
+    }
+
+  private:
+    void
+    raw(void *data, std::size_t size)
+    {
+        RCH_ASSERT(pos_ + size <= payload_.size(),
+                   "truncated snapshot payload");
+        std::memcpy(data, payload_.data() + pos_, size);
+        pos_ += size;
+    }
+
+    const std::string &payload_;
+    std::size_t pos_ = 0;
+};
+
+void
+encodeSegment(Writer &w, const SegmentSummary &segment)
+{
+    w.u32(static_cast<std::uint32_t>(segment.classes.size()));
+    for (const std::string &cls : segment.classes)
+        w.str(cls);
+    w.u32(static_cast<std::uint32_t>(segment.posts.size()));
+    for (const auto &post : segment.posts) {
+        w.str(post.first);
+        w.i64(post.second);
+    }
+    w.u8(segment.barrier ? 1 : 0);
+}
+
+SegmentSummary
+decodeSegment(Reader &r)
+{
+    SegmentSummary segment;
+    for (std::uint32_t i = 0, n = r.u32(); i < n; ++i)
+        segment.classes.insert(r.str());
+    for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+        std::string looper = r.str();
+        const SimTime when = r.i64();
+        segment.posts.emplace(std::move(looper), when);
+    }
+    segment.barrier = r.u8() != 0;
+    return segment;
+}
+
+} // namespace
+
+std::string
+encodeExecutionResult(const ExecutionResult &result)
+{
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(result.choice_points.size()));
+    for (const ChoicePoint &cp : result.choice_points) {
+        w.u32(static_cast<std::uint32_t>(cp.options.size()));
+        for (const ChoiceOption &option : cp.options) {
+            w.u8(static_cast<std::uint8_t>(option.kind));
+            w.u64(option.event_id);
+            w.u8(static_cast<std::uint8_t>(option.injection));
+            w.str(option.label);
+        }
+        w.i32(cp.chosen);
+        w.u64(cp.fingerprint_before);
+        w.i32(cp.injections_left);
+        w.u64(cp.events_before);
+        w.u32(static_cast<std::uint32_t>(cp.segment_footprint.size()));
+        for (const std::string &looper : cp.segment_footprint)
+            w.str(looper);
+        encodeSegment(w, cp.segment);
+    }
+    w.u32(static_cast<std::uint32_t>(result.violations.size()));
+    for (const McViolation &violation : result.violations) {
+        w.str(violation.oracle);
+        w.str(violation.summary);
+        w.i64(violation.time);
+    }
+    w.u64(result.steps);
+    w.u8(result.hit_depth_cap ? 1 : 0);
+    w.i32(result.resume_depth);
+    w.u64(result.events_at_resume);
+    w.u64(result.events_total);
+    w.u64(result.fingerprints_computed);
+    w.u64(result.final_fingerprint);
+    w.str(result.final_dumpsys);
+    w.str(result.final_trace_csv);
+    return w.take();
+}
+
+ExecutionResult
+decodeExecutionResult(const std::string &payload)
+{
+    Reader r(payload);
+    ExecutionResult result;
+    result.choice_points.resize(r.u32());
+    for (ChoicePoint &cp : result.choice_points) {
+        cp.options.resize(r.u32());
+        for (ChoiceOption &option : cp.options) {
+            option.kind = static_cast<ChoiceOption::Kind>(r.u8());
+            option.event_id = r.u64();
+            option.injection = static_cast<InjectionKind>(r.u8());
+            option.label = r.str();
+        }
+        cp.chosen = r.i32();
+        cp.fingerprint_before = r.u64();
+        cp.injections_left = r.i32();
+        cp.events_before = r.u64();
+        for (std::uint32_t i = 0, n = r.u32(); i < n; ++i)
+            cp.segment_footprint.insert(r.str());
+        cp.segment = decodeSegment(r);
+    }
+    result.violations.resize(r.u32());
+    for (McViolation &violation : result.violations) {
+        violation.oracle = r.str();
+        violation.summary = r.str();
+        violation.time = r.i64();
+    }
+    result.steps = r.u64();
+    result.hit_depth_cap = r.u8() != 0;
+    result.resume_depth = r.i32();
+    result.events_at_resume = r.u64();
+    result.events_total = r.u64();
+    result.fingerprints_computed = r.u64();
+    result.final_fingerprint = r.u64();
+    result.final_dumpsys = r.str();
+    result.final_trace_csv = r.str();
+    RCH_ASSERT(r.done(), "trailing bytes in snapshot result payload");
+    return result;
+}
+
+std::string
+encodeResumePayload(const ResumePayload &resume)
+{
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(resume.schedule.size()));
+    for (int choice : resume.schedule)
+        w.i32(choice);
+    w.u32(static_cast<std::uint32_t>(resume.closed_keys.size()));
+    for (std::uint64_t key : resume.closed_keys)
+        w.u64(key);
+    return w.take();
+}
+
+ResumePayload
+decodeResumePayload(const std::string &payload)
+{
+    Reader r(payload);
+    ResumePayload resume;
+    resume.schedule.resize(r.u32());
+    for (int &choice : resume.schedule)
+        choice = r.i32();
+    resume.closed_keys.resize(r.u32());
+    for (std::uint64_t &key : resume.closed_keys)
+        key = r.u64();
+    RCH_ASSERT(r.done(), "trailing bytes in snapshot resume payload");
+    return resume;
+}
+
+SnapshotSession::SnapshotSession(int max_depth)
+    : host_(max_depth > 0 ? max_depth : 0)
+{
+}
+
+ExecutionResult
+SnapshotSession::execute(const ExecutionOptions &options, bool last_use,
+                         const std::vector<std::uint64_t> &closed_keys)
+{
+    if (!host_.active()) {
+        ExecutionOptions local = options;
+        local.session = nullptr;
+        return runExecution(local);
+    }
+
+    const auto wants = [&options](int depth) {
+        return depth < static_cast<int>(options.schedule.size())
+                   ? options.schedule[static_cast<std::size_t>(depth)]
+                   : 0;
+    };
+
+    // Deepest live checkpoint whose prefix this schedule shares. Slot 0
+    // (post-setup, pre-first-choice) has an empty prefix and matches
+    // every schedule once it exists.
+    int resume_slot = -1;
+    for (int d = static_cast<int>(spine_chosen_.size()); d >= 0; --d) {
+        if (!host_.slotLive(d))
+            continue;
+        bool matches = true;
+        for (int i = 0; i < d; ++i) {
+            if (wants(i) != spine_chosen_[static_cast<std::size_t>(i)]) {
+                matches = false;
+                break;
+            }
+        }
+        if (matches) {
+            resume_slot = d;
+            break;
+        }
+    }
+
+    // Checkpoints deeper than the resume point extend a prefix this
+    // schedule diverges from; reap them before their slots are reused
+    // (and before a fresh root worker re-parks slot 0).
+    host_.discardAbove(resume_slot);
+    if (resume_slot >= 0) {
+        // Only the checkpoint at the exact divergence depth may be
+        // consumed: a shallower fallback slot is still the deepest
+        // checkpoint other prefixes share.
+        const bool consume =
+            last_use &&
+            resume_slot == static_cast<int>(options.schedule.size()) - 1;
+        ResumePayload resume;
+        resume.schedule = options.schedule;
+        resume.closed_keys = closed_keys;
+        host_.resume(resume_slot, encodeResumePayload(resume), consume);
+    } else {
+        // First execution: fork the root worker. The options are
+        // captured by value — every later continuation inherits this
+        // copy, which is why everything but the schedule must stay
+        // constant across a session's execute() calls. The closed-key
+        // list rides along via `closed_` (copied into the fork).
+        closed_.insert(closed_keys.begin(), closed_keys.end());
+        host_.spawnWorker([this, options](sim::SnapshotWorker &worker) {
+            worker_ = &worker;
+            ExecutionOptions local = options;
+            local.session = this;
+            worker.finish(encodeExecutionResult(runExecution(local)));
+        });
+    }
+
+    const sim::SnapshotResult raw = host_.awaitResult();
+    ExecutionResult result = decodeExecutionResult(raw.payload);
+    spine_chosen_.clear();
+    spine_chosen_.reserve(result.choice_points.size());
+    for (const ChoicePoint &cp : result.choice_points)
+        spine_chosen_.push_back(cp.chosen);
+    return result;
+}
+
+std::optional<std::vector<int>>
+SnapshotSession::parkAtChoicePoint(int depth, std::uint64_t key)
+{
+    if (worker_ == nullptr)
+        return std::nullopt;
+    if (parks_suppressed_)
+        return std::nullopt;
+    if (closed_.count(key) != 0) {
+        // This state heads a fully explored subtree: the DFS walk of
+        // this path will stop here (or above), so neither this choice
+        // point nor anything deeper can ever be backtracked into.
+        parks_suppressed_ = true;
+        return std::nullopt;
+    }
+    if (auto payload = worker_->park(depth)) {
+        // We are now a forked continuation: refresh the veto set with
+        // every subtree the coordinator closed while we were parked.
+        ResumePayload resume = decodeResumePayload(*payload);
+        closed_.insert(resume.closed_keys.begin(),
+                       resume.closed_keys.end());
+        return std::move(resume.schedule);
+    }
+    return std::nullopt;
+}
+
+} // namespace rchdroid::mc

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Schedule-aware façade over sim/snapshot.h for the model checker: one
+ * session serves one exploration, parking a copy-on-write checkpoint at
+ * every choice point and resuming each new schedule from the deepest
+ * checkpoint whose prefix it shares, so only the schedule's suffix is
+ * re-executed.
+ *
+ * Soundness rule. Slot d holds the process state captured *after* the
+ * choices at depths 0..d-1 were taken and *before* the choice at depth
+ * d. The session records the chosen index at every depth of the most
+ * recent execution (the live slots always lie along a single path, so
+ * one spine of chosen values describes them all). A schedule may resume
+ * from slot d iff its entries at depths 0..d-1 equal the spine exactly;
+ * slot 0 — parked after scenario setup, before the first choice —
+ * matches every schedule, so setup cost is paid exactly once per
+ * exploration. Before resuming from slot d every deeper slot is
+ * discarded: those checkpoints extend a prefix the new schedule just
+ * abandoned. The DFS in mc/explorer.cc visits siblings only after the
+ * spine child (option 0), so this discard order never destroys a
+ * checkpoint a later schedule could still have used.
+ *
+ * When SnapshotHost::supported() is false (non-POSIX build or
+ * RCHDROID_SNAPSHOTS=0), execute() silently degrades to classic
+ * replay-from-root with identical observable results.
+ */
+#ifndef RCHDROID_MC_SNAPSHOT_SESSION_H
+#define RCHDROID_MC_SNAPSHOT_SESSION_H
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "mc/execution.h"
+#include "sim/snapshot.h"
+
+namespace rchdroid::mc {
+
+/**
+ * What a resumed continuation receives: the schedule it must switch
+ * to, plus every closed-subtree key the coordinator has memoized so
+ * far (see choiceStateKey). The key list re-arms the checkpoint veto
+ * inside the worker — its forked-at-spawn copy of the coordinator's
+ * visited table is frozen in the past, so the fresh list must travel
+ * with each resume.
+ */
+struct ResumePayload
+{
+    std::vector<int> schedule;
+    std::vector<std::uint64_t> closed_keys;
+};
+
+/** @name Wire codec for results and resume payloads
+ * Exposed for the round-trip unit tests; everything is versionless
+ * little-endian binary, consumed only within one process tree.
+ * @{
+ */
+std::string encodeExecutionResult(const ExecutionResult &result);
+ExecutionResult decodeExecutionResult(const std::string &payload);
+std::string encodeResumePayload(const ResumePayload &resume);
+ResumePayload decodeResumePayload(const std::string &payload);
+/** @} */
+
+/**
+ * One exploration's worth of checkpointed executions. Construct with
+ * the depth bound (= number of checkpoint slots beyond slot 0), call
+ * execute() once per schedule, destroy to reap every checkpoint.
+ */
+class SnapshotSession
+{
+  public:
+    /** @param max_depth The exploration's choice-point depth bound. */
+    explicit SnapshotSession(int max_depth);
+
+    SnapshotSession(const SnapshotSession &) = delete;
+    SnapshotSession &operator=(const SnapshotSession &) = delete;
+
+    /** True when fork-based execution is actually in use. */
+    bool active() const { return host_.active(); }
+
+    /**
+     * Run one schedule, resuming from the deepest matching checkpoint
+     * when one exists (options.session/capture flags are overridden as
+     * needed; options.scenario etc. must be identical across calls).
+     * Inactive sessions run from the root in-process.
+     *
+     * `last_use` promises the caller will never again resume from the
+     * checkpoint this schedule diverges at: the holder then becomes
+     * the continuation in place (no fork) and the slot dies. A broken
+     * promise is safe — a later schedule just resumes from a shallower
+     * checkpoint and re-executes a little more suffix.
+     *
+     * `closed_keys` is the caller's full list of closed-subtree keys
+     * (choiceStateKey of every fully explored visited-table entry); it
+     * powers the checkpoint veto below.
+     */
+    ExecutionResult
+    execute(const ExecutionOptions &options, bool last_use = false,
+            const std::vector<std::uint64_t> &closed_keys = {});
+
+    /**
+     * Executor-side hook, called at every recorded choice point. Parks
+     * a checkpoint for `depth`, then either returns std::nullopt (this
+     * process keeps executing its current schedule) or — in a forked
+     * continuation, possibly much later — returns the schedule that
+     * continuation must switch to.
+     *
+     * Checkpoint veto: when `key` names a subtree the coordinator has
+     * already fully explored, no park happens at all — the DFS can
+     * never backtrack into a closed state, so its checkpoint would be
+     * a wasted fork. Better yet, the DFS walk of *this* execution's
+     * path stops at its first closed level, so once one veto fires
+     * every deeper choice point of this continuation is unreachable
+     * too and parking stays suppressed until the run finishes. Both
+     * skips are sound because the visited table is monotone: a key
+     * closed at veto time is still closed when the DFS gets there.
+     */
+    std::optional<std::vector<int>> parkAtChoicePoint(int depth,
+                                                      std::uint64_t key);
+
+    /** Checkpoints parked across the session. */
+    std::uint64_t snapshotsTaken() const { return host_.snapshotsTaken(); }
+    /** Executions resumed from a checkpoint (vs run from the root). */
+    std::uint64_t restores() const { return host_.restores(); }
+
+  private:
+    sim::SnapshotHost host_;
+    /** Worker-side handle; non-null only inside worker processes. */
+    sim::SnapshotWorker *worker_ = nullptr;
+    /** chosen[] of the path the live checkpoints lie along. */
+    std::vector<int> spine_chosen_;
+    /**
+     * Closed-subtree keys known to this process: inherited at fork
+     * time, refreshed from each resume payload. Holders forked before
+     * an entry arrived simply don't have it — the veto degrades, never
+     * misfires.
+     */
+    std::set<std::uint64_t> closed_;
+    /** A veto fired: every deeper choice point is unreachable. */
+    bool parks_suppressed_ = false;
+};
+
+} // namespace rchdroid::mc
+
+#endif // RCHDROID_MC_SNAPSHOT_SESSION_H

@@ -1,0 +1,442 @@
+#include "sim/snapshot.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "platform/logging.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RCHDROID_SNAPSHOT_POSIX 1
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace rchdroid::sim {
+
+namespace {
+
+/** Wire kinds of the single-pipe frame protocol. */
+enum class FrameKind : std::uint8_t {
+    /** worker -> coordinator: a checkpoint was parked (payload: slot). */
+    Parked = 1,
+    /** worker -> coordinator: the execution's serialized result. */
+    Result = 2,
+    /** holder -> coordinator: acknowledging a Die command. */
+    Ack = 3,
+    /** coordinator -> holder: fork a continuation with this payload. */
+    Resume = 4,
+    /** coordinator -> holder: terminate. */
+    Die = 5,
+    /**
+     * coordinator -> holder: become the continuation yourself (the
+     * final resume of a checkpoint — saves the fork and the Die/Ack).
+     */
+    Take = 6,
+};
+
+#ifdef RCHDROID_SNAPSHOT_POSIX
+
+/** Frame-read patience; a hung/crashed worker fails loudly, not never. */
+int
+readTimeoutMs()
+{
+    static const int timeout = [] {
+        const char *env = std::getenv("RCHDROID_SNAPSHOT_TIMEOUT_MS");
+        return env != nullptr && *env != '\0' ? std::atoi(env) : 300'000;
+    }();
+    return timeout;
+}
+
+void
+writeAll(int fd, const void *data, std::size_t size)
+{
+    const char *p = static_cast<const char *>(data);
+    while (size > 0) {
+        const ssize_t n = ::write(fd, p, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            RCH_PANIC("snapshot pipe write failed: ",
+                      std::strerror(errno));
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+readAll(int fd, void *data, std::size_t size)
+{
+    char *p = static_cast<char *>(data);
+    while (size > 0) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, readTimeoutMs());
+        RCH_ASSERT(ready != 0, "snapshot pipe read timed out after ",
+                   readTimeoutMs(),
+                   " ms — a worker or checkpoint holder died without "
+                   "reporting");
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            RCH_PANIC("snapshot pipe poll failed: ",
+                      std::strerror(errno));
+        }
+        const ssize_t n = ::read(fd, p, size);
+        if (n < 0 && errno == EINTR)
+            continue;
+        RCH_ASSERT(n > 0, "snapshot pipe closed mid-frame");
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+writeFrame(int fd, FrameKind kind, const std::string &payload)
+{
+    // One write per frame: each write to a pipe with a blocked reader
+    // is a wakeup, and the protocol's critical path is wakeup-bound.
+    std::string frame;
+    frame.reserve(1 + sizeof(std::uint32_t) + payload.size());
+    frame.push_back(static_cast<char>(kind));
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    frame.append(reinterpret_cast<const char *>(&len), sizeof len);
+    frame.append(payload);
+    writeAll(fd, frame.data(), frame.size());
+}
+
+std::pair<FrameKind, std::string>
+readFrame(int fd)
+{
+    std::uint8_t k = 0;
+    std::uint32_t len = 0;
+    readAll(fd, &k, 1);
+    readAll(fd, &len, sizeof len);
+    std::string payload(len, '\0');
+    if (len > 0)
+        readAll(fd, payload.data(), len);
+    return {static_cast<FrameKind>(k), std::move(payload)};
+}
+
+std::string
+encodeSlot(int slot)
+{
+    std::uint32_t value = static_cast<std::uint32_t>(slot);
+    return {reinterpret_cast<const char *>(&value), sizeof value};
+}
+
+int
+decodeSlot(const std::string &payload)
+{
+    RCH_ASSERT(payload.size() == sizeof(std::uint32_t),
+               "malformed Parked frame");
+    std::uint32_t value = 0;
+    std::memcpy(&value, payload.data(), sizeof value);
+    return static_cast<int>(value);
+}
+
+#endif // RCHDROID_SNAPSHOT_POSIX
+
+} // namespace
+
+bool
+SnapshotHost::supported()
+{
+#ifdef RCHDROID_SNAPSHOT_POSIX
+    static const bool enabled = [] {
+        const char *env = std::getenv("RCHDROID_SNAPSHOTS");
+        return env == nullptr || std::strcmp(env, "0") != 0;
+    }();
+    return enabled;
+#else
+    return false;
+#endif
+}
+
+#ifdef RCHDROID_SNAPSHOT_POSIX
+
+SnapshotHost::SnapshotHost(int slots)
+{
+    if (!supported() || slots < 0)
+        return;
+    const auto open_pipe = [](Pipe &p) {
+        int fds[2];
+        if (::pipe(fds) != 0)
+            return false;
+        p.read_fd = fds[0];
+        p.write_fd = fds[1];
+        return true;
+    };
+    if (!open_pipe(upstream_))
+        return;
+    slot_cmd_.resize(static_cast<std::size_t>(slots));
+    slot_live_.assign(static_cast<std::size_t>(slots), false);
+    for (Pipe &p : slot_cmd_) {
+        if (!open_pipe(p))
+            return; // destructor closes what was opened
+    }
+    // Children are reaped by the kernel: the strictly sequential pipe
+    // protocol replaces waitpid() as the completion signal.
+    auto *old_action = new struct sigaction;
+    struct sigaction ignore = {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGCHLD, &ignore, old_action);
+    old_sigchld_ = old_action;
+    active_ = true;
+}
+
+SnapshotHost::~SnapshotHost()
+{
+    if (active_) {
+        for (int slot = 0; slot < static_cast<int>(slot_live_.size());
+             ++slot) {
+            if (slot_live_[static_cast<std::size_t>(slot)])
+                discard(slot);
+        }
+    }
+    if (old_sigchld_ != nullptr) {
+        auto *old_action = static_cast<struct sigaction *>(old_sigchld_);
+        ::sigaction(SIGCHLD, old_action, nullptr);
+        delete old_action;
+    }
+    const auto close_pipe = [](Pipe &p) {
+        if (p.read_fd >= 0)
+            ::close(p.read_fd);
+        if (p.write_fd >= 0)
+            ::close(p.write_fd);
+    };
+    close_pipe(upstream_);
+    for (Pipe &p : slot_cmd_)
+        close_pipe(p);
+}
+
+void
+SnapshotHost::spawnWorker(const std::function<void(SnapshotWorker &)> &body)
+{
+    RCH_ASSERT(active_, "spawnWorker on an inactive SnapshotHost");
+    const pid_t pid = ::fork();
+    RCH_ASSERT(pid >= 0, "snapshot worker fork failed: ",
+               std::strerror(errno));
+    if (pid != 0)
+        return; // coordinator: results arrive via awaitResult()
+    SnapshotWorker worker(*this);
+    body(worker);
+    ::_exit(111); // the body must leave through finish()
+}
+
+bool
+SnapshotHost::slotLive(int slot) const
+{
+    return slot >= 0 && slot < static_cast<int>(slot_live_.size()) &&
+           slot_live_[static_cast<std::size_t>(slot)];
+}
+
+void
+SnapshotHost::resume(int slot, const std::string &payload, bool consume)
+{
+    RCH_ASSERT(slotLive(slot), "resume of a dead snapshot slot ", slot);
+    ++restores_;
+    writeFrame(slot_cmd_[static_cast<std::size_t>(slot)].write_fd,
+               consume ? FrameKind::Take : FrameKind::Resume, payload);
+    if (consume) {
+        // The holder becomes the continuation and will never read the
+        // command pipe again; no Die/Ack handshake is ever needed.
+        slot_live_[static_cast<std::size_t>(slot)] = false;
+    }
+}
+
+void
+SnapshotHost::discard(int slot)
+{
+    RCH_ASSERT(slotLive(slot), "discard of a dead snapshot slot ", slot);
+    writeFrame(slot_cmd_[static_cast<std::size_t>(slot)].write_fd,
+               FrameKind::Die, "");
+    // Block for the holder's ack: the slot's command pipe must be
+    // drained before a future continuation parks a new checkpoint
+    // there, or the dying holder could steal the newcomer's command.
+    const auto frame = readFrame(upstream_.read_fd);
+    RCH_ASSERT(frame.first == FrameKind::Ack,
+               "snapshot protocol error: expected Ack, got kind ",
+               static_cast<int>(frame.first));
+    slot_live_[static_cast<std::size_t>(slot)] = false;
+}
+
+void
+SnapshotHost::discardAbove(int slot)
+{
+    // Batched: fan out every Die first (the holders wake in parallel),
+    // then collect the acks in one sweep.
+    int dying = 0;
+    for (int s = slot + 1; s < static_cast<int>(slot_live_.size()); ++s) {
+        if (!slot_live_[static_cast<std::size_t>(s)])
+            continue;
+        writeFrame(slot_cmd_[static_cast<std::size_t>(s)].write_fd,
+                   FrameKind::Die, "");
+        slot_live_[static_cast<std::size_t>(s)] = false;
+        ++dying;
+    }
+    for (int i = 0; i < dying; ++i) {
+        const auto frame = readFrame(upstream_.read_fd);
+        RCH_ASSERT(frame.first == FrameKind::Ack,
+                   "snapshot protocol error: expected Ack, got kind ",
+                   static_cast<int>(frame.first));
+    }
+}
+
+SnapshotResult
+SnapshotHost::awaitResult()
+{
+    RCH_ASSERT(active_, "awaitResult on an inactive SnapshotHost");
+    SnapshotResult result;
+    for (;;) {
+        auto frame = readFrame(upstream_.read_fd);
+        switch (frame.first) {
+        case FrameKind::Parked: {
+            const int slot = decodeSlot(frame.second);
+            RCH_ASSERT(slot >= 0 &&
+                           slot < static_cast<int>(slot_live_.size()),
+                       "Parked frame for out-of-range slot ", slot);
+            slot_live_[static_cast<std::size_t>(slot)] = true;
+            result.parked_slots.push_back(slot);
+            ++snapshots_taken_;
+            break;
+        }
+        case FrameKind::Result:
+            result.payload = std::move(frame.second);
+            return result;
+        default:
+            RCH_PANIC("snapshot protocol error: unexpected frame "
+                      "kind ",
+                      static_cast<int>(frame.first),
+                      " while awaiting a result");
+        }
+    }
+}
+
+std::optional<std::string>
+SnapshotHost::workerPark(int slot)
+{
+    if (!active_ || slot < 0 ||
+        slot >= static_cast<int>(slot_cmd_.size()))
+        return std::nullopt;
+    const pid_t pid = ::fork();
+    RCH_ASSERT(pid >= 0, "snapshot checkpoint fork failed: ",
+               std::strerror(errno));
+    if (pid != 0) {
+        // The running worker: announce the checkpoint and carry on.
+        writeFrame(upstream_.write_fd, FrameKind::Parked,
+                   encodeSlot(slot));
+        return std::nullopt;
+    }
+    // The checkpoint holder: serve the slot's command pipe. Every
+    // mutable page of the simulated system is frozen here by the
+    // kernel's copy-on-write; each Resume forks a continuation that
+    // returns out of this call into the execution loop, bit-identical
+    // to the state the worker had when it parked.
+    const int cmd_fd = slot_cmd_[static_cast<std::size_t>(slot)].read_fd;
+    for (;;) {
+        auto frame = readFrame(cmd_fd);
+        if (frame.first == FrameKind::Die) {
+            writeFrame(upstream_.write_fd, FrameKind::Ack, "");
+            ::_exit(0);
+        }
+        if (frame.first == FrameKind::Take)
+            return frame.second; // this holder IS the continuation now
+        RCH_ASSERT(frame.first == FrameKind::Resume,
+                   "snapshot protocol error: holder got frame kind ",
+                   static_cast<int>(frame.first));
+        const pid_t child = ::fork();
+        RCH_ASSERT(child >= 0, "snapshot resume fork failed: ",
+                   std::strerror(errno));
+        if (child == 0)
+            return frame.second; // the continuation resumes execution
+    }
+}
+
+void
+SnapshotHost::workerFinish(const std::string &result)
+{
+    writeFrame(upstream_.write_fd, FrameKind::Result, result);
+    ::_exit(0);
+}
+
+#else // !RCHDROID_SNAPSHOT_POSIX
+
+SnapshotHost::SnapshotHost(int slots)
+{
+    (void)slots;
+}
+
+SnapshotHost::~SnapshotHost() = default;
+
+void
+SnapshotHost::spawnWorker(const std::function<void(SnapshotWorker &)> &body)
+{
+    (void)body;
+    RCH_PANIC("snapshots are not supported on this platform");
+}
+
+bool
+SnapshotHost::slotLive(int slot) const
+{
+    (void)slot;
+    return false;
+}
+
+void
+SnapshotHost::resume(int slot, const std::string &payload, bool consume)
+{
+    (void)slot;
+    (void)payload;
+    (void)consume;
+    RCH_PANIC("snapshots are not supported on this platform");
+}
+
+void
+SnapshotHost::discard(int slot)
+{
+    (void)slot;
+}
+
+void
+SnapshotHost::discardAbove(int slot)
+{
+    (void)slot;
+}
+
+SnapshotResult
+SnapshotHost::awaitResult()
+{
+    RCH_PANIC("snapshots are not supported on this platform");
+}
+
+std::optional<std::string>
+SnapshotHost::workerPark(int slot)
+{
+    (void)slot;
+    return std::nullopt;
+}
+
+void
+SnapshotHost::workerFinish(const std::string &result)
+{
+    (void)result;
+    RCH_PANIC("snapshots are not supported on this platform");
+}
+
+#endif // RCHDROID_SNAPSHOT_POSIX
+
+std::optional<std::string>
+SnapshotWorker::park(int slot)
+{
+    return host_.workerPark(slot);
+}
+
+void
+SnapshotWorker::finish(const std::string &result)
+{
+    host_.workerFinish(result);
+}
+
+} // namespace rchdroid::sim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Copy-on-write process snapshots: checkpoint a whole simulated device
+ * (an AndroidSystem plus every closure, oracle and analyzer observing
+ * it) and later fork fresh continuations from any checkpoint in
+ * O(changed pages) instead of re-executing from the root.
+ *
+ * Why fork(2) *is* the versioned store. The simulator's mutable state —
+ * task stack and activity records (src/ams), view trees (src/view),
+ * saved bundles and shadow/essence state (src/rch, src/app), and the
+ * scheduler/MessageQueue payload slabs with their free lists,
+ * tombstones and causal_ids (src/os) — is threaded through with
+ * std::function closures capturing raw `this` pointers into the object
+ * graph. No in-process deep copy can re-point those captures at a
+ * cloned graph, so a data-structure-level clone would be unsound by
+ * construction. The kernel's page table, however, already implements
+ * exactly the structure the design calls for: shared immutable pages
+ * plus a per-fork dirty set. fork() captures every store at once,
+ * bit-identically, in O(page tables); the first write to a page after
+ * the fork pays one page copy; unwritten pages stay shared between all
+ * snapshots of a lineage. A restored continuation therefore produces
+ * bit-identical fingerprints, traces and oracle verdicts versus a fresh
+ * re-execution of the same prefix — there is no second implementation
+ * of "copy the state" to drift.
+ *
+ * Process topology. One *coordinator* (the process calling explore(),
+ * a bench, or a test) never constructs a simulated system itself; it
+ * forks *workers* that do. A worker parks a checkpoint into a numbered
+ * *slot* by forking: the child (the checkpoint holder) blocks in a tiny
+ * service loop on the slot's command pipe while the worker runs on.
+ * Resuming a slot forks the holder again; the new child returns out of
+ * park() with the resume payload and continues executing from the
+ * checkpointed state. All results stream to the coordinator over one
+ * shared upstream pipe as length-prefixed frames; the protocol is
+ * strictly sequential (exactly one process runs simulation code at any
+ * time), so the single pipe needs no further synchronisation.
+ *
+ * The coordinator ignores SIGCHLD for the host's lifetime so exited
+ * workers and holders are reaped by the kernel without a wait loop;
+ * children always leave via _exit(), skipping atexit handlers and
+ * (deliberately) leak checks for state the checkpoint owns by design.
+ *
+ * On non-POSIX builds (or with RCHDROID_SNAPSHOTS=0 in the
+ * environment) SnapshotHost::supported() is false and callers fall
+ * back to replay-from-root with identical observable results.
+ */
+#ifndef RCHDROID_SIM_SNAPSHOT_H
+#define RCHDROID_SIM_SNAPSHOT_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rchdroid::sim {
+
+class SnapshotHost;
+
+/**
+ * The worker half of the snapshot protocol. Created by
+ * SnapshotHost::spawnWorker inside the forked worker process and
+ * passed to the worker body; also used (via the inherited memory
+ * image) by every continuation forked from one of its checkpoints.
+ */
+class SnapshotWorker
+{
+  public:
+    /**
+     * Park a copy-on-write checkpoint of the calling process into
+     * `slot`. The running worker returns std::nullopt immediately and
+     * continues; each later SnapshotHost::resume(slot, payload) forks
+     * a continuation that returns `payload` from this very call.
+     * Out-of-range slots are ignored (returns std::nullopt).
+     */
+    std::optional<std::string> park(int slot);
+
+    /** Stream the result upstream and terminate the worker process. */
+    [[noreturn]] void finish(const std::string &result);
+
+  private:
+    friend class SnapshotHost;
+    explicit SnapshotWorker(SnapshotHost &host) : host_(host) {}
+    SnapshotHost &host_;
+};
+
+/** What one awaitResult() observed. */
+struct SnapshotResult
+{
+    /** The worker's finish() payload. */
+    std::string payload;
+    /** Slots parked (in park order) during this execution. */
+    std::vector<int> parked_slots;
+};
+
+/**
+ * The coordinator half: owns the upstream pipe, one command pipe per
+ * checkpoint slot, and the SIGCHLD disposition. One host serves one
+ * exploration; the destructor discards every live checkpoint.
+ */
+class SnapshotHost
+{
+  public:
+    /** @param slots Number of checkpoint slots (the depth bound). */
+    explicit SnapshotHost(int slots);
+    ~SnapshotHost();
+
+    SnapshotHost(const SnapshotHost &) = delete;
+    SnapshotHost &operator=(const SnapshotHost &) = delete;
+
+    /**
+     * True when fork-based snapshots work here: a POSIX build and
+     * RCHDROID_SNAPSHOTS is not set to 0.
+     */
+    static bool supported();
+
+    /** True when construction succeeded (pipes allocated). */
+    bool active() const { return active_; }
+
+    /**
+     * Fork a fresh worker running `body`. The body executes in the
+     * child with this host's SnapshotWorker and must end by calling
+     * finish(); if it returns anyway the child exits with an error
+     * status. The coordinator returns immediately — follow with
+     * awaitResult().
+     */
+    void spawnWorker(const std::function<void(SnapshotWorker &)> &body);
+
+    /** Is a checkpoint currently parked in `slot`? */
+    bool slotLive(int slot) const;
+
+    /**
+     * Fork a continuation from the checkpoint in `slot`, handing it
+     * `payload`. The slot stays live (it can be resumed again) —
+     * unless `consume` is set, in which case the holder *becomes* the
+     * continuation (no fork, no later discard) and the slot dies.
+     * Follow with awaitResult().
+     */
+    void resume(int slot, const std::string &payload,
+                bool consume = false);
+
+    /** Terminate the checkpoint in `slot` (blocks for its ack). */
+    void discard(int slot);
+
+    /** Terminate every live checkpoint in slots > `slot`. */
+    void discardAbove(int slot);
+
+    /**
+     * Block until the running worker/continuation finishes, recording
+     * checkpoint-parked notifications on the way.
+     */
+    SnapshotResult awaitResult();
+
+    /** @name Lifetime statistics
+     * @{
+     */
+    /** Checkpoints parked (snapshots taken) so far. */
+    std::uint64_t snapshotsTaken() const { return snapshots_taken_; }
+    /** Continuations forked from checkpoints so far. */
+    std::uint64_t restores() const { return restores_; }
+    /** @} */
+
+  private:
+    friend class SnapshotWorker;
+
+    struct Pipe
+    {
+        int read_fd = -1;
+        int write_fd = -1;
+    };
+
+    /** Worker side of park(); see SnapshotWorker::park. */
+    std::optional<std::string> workerPark(int slot);
+    [[noreturn]] void workerFinish(const std::string &result);
+
+    bool active_ = false;
+    Pipe upstream_;
+    std::vector<Pipe> slot_cmd_;
+    std::vector<bool> slot_live_;
+    std::uint64_t snapshots_taken_ = 0;
+    std::uint64_t restores_ = 0;
+    /** Saved SIGCHLD disposition, restored by the destructor. */
+    void *old_sigchld_ = nullptr;
+};
+
+} // namespace rchdroid::sim
+
+#endif // RCHDROID_SIM_SNAPSHOT_H

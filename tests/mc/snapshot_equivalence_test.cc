@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The snapshot correctness bar, stated as a property: an execution
+ * resumed from a copy-on-write checkpoint must be indistinguishable —
+ * bit for bit — from a fresh replay-from-root of the same schedule.
+ * Randomized schedules drive one persistent SnapshotSession and a
+ * fresh runExecution() side by side, comparing final state
+ * fingerprints, dumpsys text, the full trace CSV, every recorded
+ * choice point, and the oracle verdicts. Also covers the fingerprint
+ * memoization contract (a resumed continuation inherits the prefix's
+ * memoized fingerprints instead of re-walking the state) and the wire
+ * codec round trip.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "mc/execution.h"
+#include "mc/scenario.h"
+#include "mc/snapshot_session.h"
+#include "sim/snapshot.h"
+
+namespace rchdroid::mc {
+namespace {
+
+ExecutionOptions
+makeOptions(const Scenario *scenario, const std::vector<int> &schedule,
+            int depth)
+{
+    ExecutionOptions options;
+    options.scenario = scenario;
+    options.schedule = schedule;
+    options.max_choice_points = depth;
+    options.fingerprints = true;
+    options.capture_final_state = true;
+    return options;
+}
+
+/** Bitwise comparison of everything an execution can observe. */
+void
+expectIdentical(const ExecutionResult &snap, const ExecutionResult &fresh,
+                const std::string &label)
+{
+    EXPECT_EQ(snap.final_fingerprint, fresh.final_fingerprint) << label;
+    EXPECT_EQ(snap.final_dumpsys, fresh.final_dumpsys) << label;
+    EXPECT_EQ(snap.final_trace_csv, fresh.final_trace_csv) << label;
+    EXPECT_EQ(snap.steps, fresh.steps) << label;
+    EXPECT_EQ(snap.hit_depth_cap, fresh.hit_depth_cap) << label;
+    EXPECT_EQ(snap.events_total, fresh.events_total) << label;
+    ASSERT_EQ(snap.choice_points.size(), fresh.choice_points.size())
+        << label;
+    for (std::size_t i = 0; i < snap.choice_points.size(); ++i) {
+        const ChoicePoint &a = snap.choice_points[i];
+        const ChoicePoint &b = fresh.choice_points[i];
+        EXPECT_EQ(a.chosen, b.chosen) << label << " cp " << i;
+        EXPECT_EQ(a.fingerprint_before, b.fingerprint_before)
+            << label << " cp " << i;
+        EXPECT_EQ(a.injections_left, b.injections_left)
+            << label << " cp " << i;
+        EXPECT_EQ(a.events_before, b.events_before) << label << " cp "
+                                                    << i;
+        EXPECT_EQ(a.segment_footprint, b.segment_footprint)
+            << label << " cp " << i;
+        ASSERT_EQ(a.options.size(), b.options.size())
+            << label << " cp " << i;
+        for (std::size_t j = 0; j < a.options.size(); ++j) {
+            EXPECT_EQ(a.options[j].kind, b.options[j].kind)
+                << label << " cp " << i << " option " << j;
+            EXPECT_EQ(a.options[j].event_id, b.options[j].event_id)
+                << label << " cp " << i << " option " << j;
+            EXPECT_EQ(a.options[j].label, b.options[j].label)
+                << label << " cp " << i << " option " << j;
+        }
+    }
+    ASSERT_EQ(snap.violations.size(), fresh.violations.size()) << label;
+    for (std::size_t i = 0; i < snap.violations.size(); ++i) {
+        EXPECT_EQ(snap.violations[i].oracle, fresh.violations[i].oracle)
+            << label;
+        EXPECT_EQ(snap.violations[i].summary,
+                  fresh.violations[i].summary)
+            << label;
+        EXPECT_EQ(snap.violations[i].time, fresh.violations[i].time)
+            << label;
+    }
+}
+
+class SnapshotEquivalenceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!sim::SnapshotHost::supported())
+            GTEST_SKIP() << "fork-based snapshots unsupported here";
+    }
+};
+
+/**
+ * The headline property on randomized schedules: one session serves a
+ * stream of schedules (resuming each from the deepest shared
+ * checkpoint, like the explorer does) while every schedule is also
+ * replayed fresh from the root; all observables must match exactly.
+ */
+TEST_F(SnapshotEquivalenceTest, RandomScheduleStreamsAreBitIdentical)
+{
+    constexpr int kDepth = 8;
+    constexpr int kSchedulesPerScenario = 12;
+    std::mt19937 rng(20260808u);
+    std::uniform_int_distribution<int> length_dist(0, kDepth);
+    std::uniform_int_distribution<int> choice_dist(0, 3);
+
+    for (const char *name : {"quickstart", "seeded_gc", "login_form"}) {
+        const Scenario *scenario = findScenario(name);
+        ASSERT_NE(scenario, nullptr) << name;
+        SnapshotSession session(kDepth);
+        ASSERT_TRUE(session.active());
+        bool saw_resume = false;
+        for (int round = 0; round < kSchedulesPerScenario; ++round) {
+            std::vector<int> schedule(
+                static_cast<std::size_t>(length_dist(rng)));
+            for (int &choice : schedule)
+                choice = choice_dist(rng);
+            const ExecutionOptions options =
+                makeOptions(scenario, schedule, kDepth);
+            const ExecutionResult snap = session.execute(options);
+            const ExecutionResult fresh = runExecution(options);
+            expectIdentical(snap, fresh,
+                            std::string(name) + " round " +
+                                std::to_string(round));
+
+            if (snap.resume_depth >= 0) {
+                saw_resume = true;
+                // Resumed continuations inherit real prefix work...
+                EXPECT_GT(snap.events_at_resume, 0u);
+                // ...and the prefix's memoized fingerprints: only the
+                // suffix's choice points re-walk the state.
+                EXPECT_EQ(snap.fingerprints_computed,
+                          snap.choice_points.size() -
+                              static_cast<std::size_t>(
+                                  snap.resume_depth) -
+                              1);
+            } else {
+                EXPECT_EQ(snap.fingerprints_computed,
+                          snap.choice_points.size());
+            }
+        }
+        EXPECT_TRUE(saw_resume)
+            << name << ": no schedule resumed from a checkpoint";
+        EXPECT_GT(session.restores(), 0u) << name;
+        EXPECT_GT(session.snapshotsTaken(), 0u) << name;
+    }
+}
+
+/**
+ * The explicit snapshot/continue/restore/re-continue shape: run a
+ * prefix, keep going one way, then resume the checkpoint with a
+ * different suffix — the divergent run must equal a fresh run of the
+ * full divergent schedule.
+ */
+TEST_F(SnapshotEquivalenceTest, RestoredPrefixReplaysDivergentSuffix)
+{
+    const Scenario *scenario = findScenario("quickstart");
+    ASSERT_NE(scenario, nullptr);
+    constexpr int kDepth = 6;
+    SnapshotSession session(kDepth);
+    ASSERT_TRUE(session.active());
+
+    // Drive the default spine, checkpointing along the way. (The
+    // all-defaults path takes no injection, so it meets exactly one
+    // choice point; branching below needs a non-default choice.)
+    const ExecutionResult spine =
+        session.execute(makeOptions(scenario, {}, kDepth));
+    ASSERT_GE(spine.choice_points.size(), 1u);
+
+    // Continue down a branch (inject at the first choice point)...
+    const ExecutionResult branch_a =
+        session.execute(makeOptions(scenario, {1}, kDepth));
+    EXPECT_GE(branch_a.resume_depth, 0);
+    ASSERT_GE(branch_a.choice_points.size(), 2u);
+
+    // ...then restore the shared prefix and re-continue differently.
+    const ExecutionResult branch_b =
+        session.execute(makeOptions(scenario, {1, 1}, kDepth));
+    EXPECT_GE(branch_b.resume_depth, 0);
+
+    expectIdentical(branch_a,
+                    runExecution(makeOptions(scenario, {1}, kDepth)),
+                    "branch_a");
+    expectIdentical(branch_b,
+                    runExecution(makeOptions(scenario, {1, 1}, kDepth)),
+                    "branch_b");
+}
+
+TEST(SnapshotCodecTest, ExecutionResultRoundTrips)
+{
+    ExecutionResult result;
+    result.choice_points.resize(2);
+    ChoiceOption option;
+    option.kind = ChoiceOption::Kind::Injection;
+    option.injection = InjectionKind::Rotate;
+    option.event_id = 41;
+    option.label = "rotate";
+    result.choice_points[0].options = {option, option};
+    result.choice_points[0].chosen = 1;
+    result.choice_points[0].fingerprint_before = 0xdeadbeefcafe1234ULL;
+    result.choice_points[0].injections_left = 2;
+    result.choice_points[0].events_before = 17;
+    result.choice_points[0].segment_footprint = {"main", "binder"};
+    result.choice_points[0].segment.classes = {"app/main:msg"};
+    result.choice_points[0].segment.posts = {{"main", 125}};
+    result.choice_points[1].segment.barrier = true;
+    McViolation violation;
+    violation.oracle = "gc";
+    violation.summary = "shadow reclaimed";
+    violation.time = 4500;
+    result.violations.push_back(violation);
+    result.steps = 9;
+    result.hit_depth_cap = true;
+    result.resume_depth = 3;
+    result.events_at_resume = 11;
+    result.events_total = 29;
+    result.fingerprints_computed = 4;
+    result.final_fingerprint = 0x1122334455667788ULL;
+    result.final_dumpsys = "dumpsys\ntext";
+    result.final_trace_csv = "a,b,c\n1,2,3\n";
+
+    const ExecutionResult decoded =
+        decodeExecutionResult(encodeExecutionResult(result));
+    EXPECT_EQ(decoded.choice_points.size(), 2u);
+    EXPECT_EQ(decoded.choice_points[0].options.size(), 2u);
+    EXPECT_EQ(decoded.choice_points[0].options[0].kind,
+              ChoiceOption::Kind::Injection);
+    EXPECT_EQ(decoded.choice_points[0].options[0].event_id, 41u);
+    EXPECT_EQ(decoded.choice_points[0].options[0].label, "rotate");
+    EXPECT_EQ(decoded.choice_points[0].chosen, 1);
+    EXPECT_EQ(decoded.choice_points[0].fingerprint_before,
+              0xdeadbeefcafe1234ULL);
+    EXPECT_EQ(decoded.choice_points[0].injections_left, 2);
+    EXPECT_EQ(decoded.choice_points[0].events_before, 17u);
+    EXPECT_EQ(decoded.choice_points[0].segment_footprint,
+              result.choice_points[0].segment_footprint);
+    EXPECT_EQ(decoded.choice_points[0].segment.classes,
+              result.choice_points[0].segment.classes);
+    EXPECT_EQ(decoded.choice_points[0].segment.posts,
+              result.choice_points[0].segment.posts);
+    EXPECT_TRUE(decoded.choice_points[1].segment.barrier);
+    ASSERT_EQ(decoded.violations.size(), 1u);
+    EXPECT_EQ(decoded.violations[0].oracle, "gc");
+    EXPECT_EQ(decoded.violations[0].summary, "shadow reclaimed");
+    EXPECT_EQ(decoded.violations[0].time, 4500);
+    EXPECT_EQ(decoded.steps, 9u);
+    EXPECT_TRUE(decoded.hit_depth_cap);
+    EXPECT_EQ(decoded.resume_depth, 3);
+    EXPECT_EQ(decoded.events_at_resume, 11u);
+    EXPECT_EQ(decoded.events_total, 29u);
+    EXPECT_EQ(decoded.fingerprints_computed, 4u);
+    EXPECT_EQ(decoded.final_fingerprint, 0x1122334455667788ULL);
+    EXPECT_EQ(decoded.final_dumpsys, "dumpsys\ntext");
+    EXPECT_EQ(decoded.final_trace_csv, "a,b,c\n1,2,3\n");
+}
+
+TEST(SnapshotCodecTest, ResumePayloadRoundTrips)
+{
+    ResumePayload resume;
+    resume.schedule = {0, 3, 1, 0, 2};
+    resume.closed_keys = {choiceStateKey(1, 2, 3),
+                          choiceStateKey(0xffffffffffffffffULL, 0, 0)};
+    const ResumePayload decoded =
+        decodeResumePayload(encodeResumePayload(resume));
+    EXPECT_EQ(decoded.schedule, resume.schedule);
+    EXPECT_EQ(decoded.closed_keys, resume.closed_keys);
+}
+
+TEST(SnapshotCodecTest, ChoiceStateKeyMixesEveryComponent)
+{
+    const std::uint64_t base = choiceStateKey(7, 4, 1);
+    EXPECT_NE(base, choiceStateKey(8, 4, 1));
+    EXPECT_NE(base, choiceStateKey(7, 5, 1));
+    EXPECT_NE(base, choiceStateKey(7, 4, 2));
+    EXPECT_EQ(base, choiceStateKey(7, 4, 1));
+}
+
+} // namespace
+} // namespace rchdroid::mc

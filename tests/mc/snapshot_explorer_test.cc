@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Snapshot-forked exploration vs replay-from-root, whole-catalog A/B:
+ * the switch is purely a performance lever, so every scenario must
+ * report identical schedule counts, execution counts, reduction
+ * statistics, and violation verdicts either way — while the snapshot
+ * run actually restores checkpoints and banks saved prefix events.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mc/explorer.h"
+#include "mc/scenario.h"
+#include "sim/snapshot.h"
+
+namespace rchdroid::mc {
+namespace {
+
+ExplorerReport
+exploreScenario(const Scenario *scenario, bool snapshots, int depth)
+{
+    ExplorerOptions options;
+    options.scenario = scenario;
+    options.max_depth = depth;
+    options.snapshots = snapshots;
+    options.independence = &scenario->independence;
+    return explore(options);
+}
+
+TEST(SnapshotExplorerTest, EveryScenarioIsBitIdenticalWithAndWithout)
+{
+    constexpr int kDepth = 6;
+    for (const Scenario &scenario : scenarioCatalog()) {
+        const ExplorerReport snap =
+            exploreScenario(&scenario, true, kDepth);
+        const ExplorerReport root =
+            exploreScenario(&scenario, false, kDepth);
+        const std::string name = scenario.name;
+
+        EXPECT_EQ(snap.stats.schedules_covered,
+                  root.stats.schedules_covered)
+            << name;
+        EXPECT_EQ(snap.stats.executions, root.stats.executions) << name;
+        EXPECT_EQ(snap.stats.nodes, root.stats.nodes) << name;
+        EXPECT_EQ(snap.stats.distinct_states, root.stats.distinct_states)
+            << name;
+        EXPECT_EQ(snap.stats.visited_hits, root.stats.visited_hits)
+            << name;
+        EXPECT_EQ(snap.stats.sleep_skips, root.stats.sleep_skips) << name;
+        EXPECT_EQ(snap.stats.mhp_prunes, root.stats.mhp_prunes) << name;
+        EXPECT_EQ(snap.stats.truncated, root.stats.truncated) << name;
+
+        ASSERT_EQ(snap.violations.size(), root.violations.size()) << name;
+        for (std::size_t i = 0; i < snap.violations.size(); ++i) {
+            EXPECT_EQ(snap.violations[i].oracle, root.violations[i].oracle)
+                << name;
+            EXPECT_EQ(snap.violations[i].summary,
+                      root.violations[i].summary)
+                << name;
+        }
+        EXPECT_EQ(snap.first_violation_schedule,
+                  root.first_violation_schedule)
+            << name;
+
+        // The replay-from-root arm never touches the snapshot layer.
+        EXPECT_FALSE(root.stats.snapshots_active) << name;
+        EXPECT_EQ(root.stats.snapshots_taken, 0u) << name;
+        EXPECT_EQ(root.stats.snapshot_restores, 0u) << name;
+        EXPECT_EQ(root.stats.events_saved, 0u) << name;
+
+        if (!sim::SnapshotHost::supported())
+            continue;
+        EXPECT_TRUE(snap.stats.snapshots_active) << name;
+        if (snap.stats.executions > 1) {
+            // Every branch beyond the first resumes from a checkpoint
+            // at its exact divergence depth: nothing is re-replayed.
+            EXPECT_GT(snap.stats.snapshots_taken, 0u) << name;
+            EXPECT_EQ(snap.stats.snapshot_restores,
+                      snap.stats.executions - 1)
+                << name;
+            EXPECT_GT(snap.stats.events_saved, 0u) << name;
+            EXPECT_EQ(snap.stats.events_replayed, 0u) << name;
+            EXPECT_GT(root.stats.events_replayed, 0u) << name;
+        }
+    }
+}
+
+TEST(SnapshotExplorerTest, SeededBugVerdictSurvivesSnapshots)
+{
+    const Scenario *scenario = findScenario("seeded_gc");
+    ASSERT_NE(scenario, nullptr);
+    const ExplorerReport snap = exploreScenario(scenario, true, 8);
+    const ExplorerReport root = exploreScenario(scenario, false, 8);
+    ASSERT_FALSE(snap.violations.empty());
+    ASSERT_FALSE(root.violations.empty());
+    EXPECT_EQ(snap.violations.front().oracle,
+              root.violations.front().oracle);
+    EXPECT_EQ(snap.violations.front().summary,
+              root.violations.front().summary);
+    EXPECT_EQ(snap.first_violation_schedule,
+              root.first_violation_schedule);
+}
+
+} // namespace
+} // namespace rchdroid::mc

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The fork-based snapshot store on a plain value, with no simulator in
+ * sight: parked checkpoints freeze process state bit-for-bit, resumes
+ * fork continuations that inherit exactly the state at park time,
+ * consume-resumes retire the slot, and discards reap holders. Skipped
+ * wholesale where fork-based snapshots are unsupported.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/snapshot.h"
+
+namespace rchdroid::sim {
+namespace {
+
+/**
+ * A worker that builds a visible history string: setup "s", then one
+ * letter per phase, parking before each phase. A resume payload gets
+ * spliced in parentheses at the depth it arrived, so the returned
+ * string proves which state the continuation inherited — a payload
+ * splices in *only* in the lineage that received it.
+ */
+void
+historyWorker(SnapshotWorker &worker)
+{
+    std::string log = "s";
+    if (auto payload = worker.park(0))
+        log += "(" + *payload + ")";
+    log += "a";
+    if (auto payload = worker.park(1))
+        log += "(" + *payload + ")";
+    log += "b";
+    worker.finish(log);
+}
+
+class SnapshotHostTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!SnapshotHost::supported())
+            GTEST_SKIP() << "fork-based snapshots unsupported here";
+    }
+};
+
+TEST_F(SnapshotHostTest, WorkerRunsToCompletionAndParks)
+{
+    SnapshotHost host(2);
+    ASSERT_TRUE(host.active());
+    host.spawnWorker(historyWorker);
+    const SnapshotResult result = host.awaitResult();
+    EXPECT_EQ(result.payload, "sab");
+    ASSERT_EQ(result.parked_slots.size(), 2u);
+    EXPECT_EQ(result.parked_slots[0], 0);
+    EXPECT_EQ(result.parked_slots[1], 1);
+    EXPECT_TRUE(host.slotLive(0));
+    EXPECT_TRUE(host.slotLive(1));
+    EXPECT_EQ(host.snapshotsTaken(), 2u);
+    EXPECT_EQ(host.restores(), 0u);
+}
+
+TEST_F(SnapshotHostTest, ResumeInheritsExactlyTheParkedState)
+{
+    SnapshotHost host(2);
+    ASSERT_TRUE(host.active());
+    host.spawnWorker(historyWorker);
+    EXPECT_EQ(host.awaitResult().payload, "sab");
+
+    // Resume the deep checkpoint first: the continuation saw "sa"
+    // already happen and only re-runs the suffix.
+    host.resume(1, "X");
+    const SnapshotResult deep = host.awaitResult();
+    EXPECT_EQ(deep.payload, "sa(X)b");
+    EXPECT_TRUE(deep.parked_slots.empty()); // suffix parks nothing new
+    EXPECT_EQ(host.restores(), 1u);
+
+    // The shallow checkpoint never saw the deep resume's "(X)".
+    // Discard the stale deep slot (its prefix is being abandoned),
+    // resume slot 0, and the continuation re-parks slot 1 along its
+    // own fresh path.
+    host.discardAbove(0);
+    EXPECT_FALSE(host.slotLive(1));
+    host.resume(0, "Y");
+    const SnapshotResult shallow = host.awaitResult();
+    EXPECT_EQ(shallow.payload, "s(Y)ab");
+    ASSERT_EQ(shallow.parked_slots.size(), 1u);
+    EXPECT_EQ(shallow.parked_slots[0], 1);
+    EXPECT_TRUE(host.slotLive(1));
+}
+
+TEST_F(SnapshotHostTest, CheckpointsAreImmutableAcrossManyResumes)
+{
+    SnapshotHost host(2);
+    ASSERT_TRUE(host.active());
+    host.spawnWorker(historyWorker);
+    host.awaitResult();
+    // Each resume forks a fresh continuation of the same frozen state:
+    // earlier resumes must not bleed into later ones.
+    for (const char *payload : {"1", "2", "3"}) {
+        host.discardAbove(0);
+        host.resume(0, payload);
+        EXPECT_EQ(host.awaitResult().payload,
+                  std::string("s(") + payload + ")ab");
+    }
+    EXPECT_EQ(host.restores(), 3u);
+}
+
+TEST_F(SnapshotHostTest, ConsumeResumeRetiresTheSlot)
+{
+    SnapshotHost host(2);
+    ASSERT_TRUE(host.active());
+    host.spawnWorker(historyWorker);
+    host.awaitResult();
+    host.discardAbove(0);
+    host.resume(0, "Z", /*consume=*/true);
+    EXPECT_FALSE(host.slotLive(0));
+    // The holder became the continuation: the state is still exact.
+    EXPECT_EQ(host.awaitResult().payload, "s(Z)ab");
+    EXPECT_EQ(host.restores(), 1u);
+}
+
+TEST_F(SnapshotHostTest, DiscardAboveReapsOnlyDeeperSlots)
+{
+    SnapshotHost host(2);
+    ASSERT_TRUE(host.active());
+    host.spawnWorker(historyWorker);
+    host.awaitResult();
+    host.discardAbove(0);
+    EXPECT_TRUE(host.slotLive(0));
+    EXPECT_FALSE(host.slotLive(1));
+    host.discardAbove(-1);
+    EXPECT_FALSE(host.slotLive(0));
+}
+
+TEST_F(SnapshotHostTest, OutOfRangeParkIsIgnored)
+{
+    SnapshotHost host(1);
+    ASSERT_TRUE(host.active());
+    host.spawnWorker([](SnapshotWorker &worker) {
+        std::string log = "s";
+        if (auto payload = worker.park(5)) // beyond the slot count
+            log += "(" + *payload + ")";
+        worker.finish(log);
+    });
+    const SnapshotResult result = host.awaitResult();
+    EXPECT_EQ(result.payload, "s");
+    EXPECT_TRUE(result.parked_slots.empty());
+    EXPECT_EQ(host.snapshotsTaken(), 0u);
+}
+
+} // namespace
+} // namespace rchdroid::sim

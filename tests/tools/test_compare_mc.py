@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_mc.py.
+
+Runs with the standard library only (unittest, no pytest): invoke as
+
+  python3 tests/tools/test_compare_mc.py
+
+or through CTest, which registers it when a Python3 interpreter is
+found at configure time.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 os.pardir, os.pardir, "tools"))
+
+import compare_mc  # noqa: E402
+
+
+def cell(identical=True, reduction=100.0, snap_replayed=0.0,
+         root_replayed=11.0, schedules=1000, executions=100,
+         snap_wall=50.0, root_wall=25.0):
+    """One scenario's bench_mc cell with sane defaults."""
+    return {
+        "snapshot": {
+            "schedules_covered": schedules, "executions": executions,
+            "events_replayed": int(snap_replayed * executions),
+            "replayed_per_execution": snap_replayed,
+            "events_saved": 2000, "wall_ms": snap_wall,
+        },
+        "replay_from_root": {
+            "schedules_covered": schedules, "executions": executions,
+            "events_replayed": int(root_replayed * executions),
+            "replayed_per_execution": root_replayed,
+            "events_saved": 0, "wall_ms": root_wall,
+        },
+        "identical": identical,
+        "events_replayed_reduction": reduction,
+    }
+
+
+def report(scenarios, all_identical=True):
+    return {
+        "depth": 10,
+        "scenarios": scenarios,
+        "totals": {"snapshot_wall_ms": 100.0, "root_wall_ms": 50.0,
+                   "all_identical": all_identical},
+    }
+
+
+class IdentityGateTest(unittest.TestCase):
+    def test_clean_report_passes(self):
+        current = report({"quickstart": cell()})
+        self.assertEqual(compare_mc.check_identity(current), [])
+
+    def test_diverged_scenario_is_an_error(self):
+        current = report({"quickstart": cell(identical=False)},
+                         all_identical=False)
+        errors = compare_mc.check_identity(current)
+        self.assertEqual(len(errors), 2)  # scenario + totals
+        self.assertIn("quickstart", errors[0])
+
+    def test_false_totals_alone_is_an_error(self):
+        current = report({"quickstart": cell()}, all_identical=False)
+        errors = compare_mc.check_identity(current)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("all_identical", errors[0])
+
+
+class ReductionFloorTest(unittest.TestCase):
+    def test_reduction_above_floor_passes(self):
+        current = report({"quickstart": cell(reduction=5.0)})
+        self.assertIsNone(
+            compare_mc.check_reduction_floor(current, 5.0))
+
+    def test_reduction_below_floor_fails(self):
+        current = report({"quickstart": cell(reduction=4.9)})
+        error = compare_mc.check_reduction_floor(current, 5.0)
+        self.assertIn("4.9x", error)
+
+    def test_missing_quickstart_fails(self):
+        current = report({"login_form": cell()})
+        error = compare_mc.check_reduction_floor(current, 5.0)
+        self.assertIn("missing", error)
+
+
+class ReplayedRegressionTest(unittest.TestCase):
+    def test_unchanged_replayed_passes(self):
+        base = report({"quickstart": cell(snap_replayed=0.0)})
+        cur = report({"quickstart": cell(snap_replayed=0.0)})
+        errors, warnings = compare_mc.check_replayed_regressions(
+            base, cur, 0.5)
+        self.assertEqual(errors, [])
+        self.assertEqual(warnings, [])
+
+    def test_growth_within_epsilon_is_tolerated(self):
+        base = report({"quickstart": cell(snap_replayed=0.0)})
+        cur = report({"quickstart": cell(snap_replayed=0.5)})
+        errors, _ = compare_mc.check_replayed_regressions(base, cur, 0.5)
+        self.assertEqual(errors, [])
+
+    def test_growth_beyond_epsilon_is_an_error(self):
+        base = report({"quickstart": cell(snap_replayed=0.0)})
+        cur = report({"quickstart": cell(snap_replayed=0.6)})
+        errors, _ = compare_mc.check_replayed_regressions(base, cur, 0.5)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("divergence points", errors[0])
+
+    def test_missing_scenario_warns_not_crashes(self):
+        base = report({"quickstart": cell(), "gone": cell()})
+        cur = report({"quickstart": cell()})
+        errors, warnings = compare_mc.check_replayed_regressions(
+            base, cur, 0.5)
+        self.assertEqual(errors, [])
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("gone", warnings[0])
+
+
+class ScheduleDriftTest(unittest.TestCase):
+    def test_identical_counts_are_silent(self):
+        base = report({"quickstart": cell()})
+        cur = report({"quickstart": cell()})
+        self.assertEqual(
+            compare_mc.check_schedule_drift(base, cur), [])
+
+    def test_moved_counts_warn(self):
+        base = report({"quickstart": cell(schedules=1000)})
+        cur = report({"quickstart": cell(schedules=999)})
+        warnings = compare_mc.check_schedule_drift(base, cur)
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("baseline", warnings[0])
+
+
+class WallAdvisoryTest(unittest.TestCase):
+    def test_wall_within_ratio_is_silent(self):
+        cur = report(
+            {"quickstart": cell(snap_wall=74.0, root_wall=25.0)})
+        self.assertEqual(compare_mc.check_wall(cur, 3.0), [])
+
+    def test_wall_beyond_ratio_warns_only(self):
+        cur = report(
+            {"quickstart": cell(snap_wall=76.0, root_wall=25.0)})
+        warnings = compare_mc.check_wall(cur, 3.0)
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("advisory", warnings[0])
+
+    def test_zero_root_wall_carries_no_signal(self):
+        cur = report({"quickstart": cell(snap_wall=10.0, root_wall=0.0)})
+        self.assertEqual(compare_mc.check_wall(cur, 3.0), [])
+
+
+class MainTest(unittest.TestCase):
+    def run_main(self, baseline, current):
+        """Write both reports to a tempdir and run main(); returns
+        (exit_code, stdout_text)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            if baseline is not None:
+                with open(base_path, "w") as handle:
+                    json.dump(baseline, handle)
+            with open(cur_path, "w") as handle:
+                json.dump(current, handle)
+            stdout = io.StringIO()
+            with contextlib.redirect_stdout(stdout):
+                code = compare_mc.main(
+                    ["compare_mc.py", base_path, cur_path])
+            return code, stdout.getvalue()
+
+    def test_clean_run_exits_zero(self):
+        code, out = self.run_main(report({"quickstart": cell()}),
+                                  report({"quickstart": cell()}))
+        self.assertEqual(code, 0)
+        self.assertIn("gates passed", out)
+
+    def test_divergence_exits_one(self):
+        code, out = self.run_main(
+            report({"quickstart": cell()}),
+            report({"quickstart": cell(identical=False)},
+                   all_identical=False))
+        self.assertEqual(code, 1)
+        self.assertIn("::error::", out)
+
+    def test_reduction_floor_violation_exits_one(self):
+        code, out = self.run_main(
+            report({"quickstart": cell()}),
+            report({"quickstart": cell(reduction=2.0)}))
+        self.assertEqual(code, 1)
+        self.assertIn("floor", out)
+
+    def test_missing_baseline_is_advisory(self):
+        code, out = self.run_main(None, report({"quickstart": cell()}))
+        self.assertEqual(code, 0)
+        self.assertIn("::warning::", out)
+
+    def test_too_few_arguments_prints_usage(self):
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = compare_mc.main(["compare_mc.py"])
+        self.assertEqual(code, 2)
+        self.assertIn("Usage", stdout.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -23,6 +23,9 @@
  *   --no-mhp          disable the static independence oracle (classic
  *                     unguided DPOR; the guided-vs-unguided CI gate
  *                     compares this against the default)
+ *   --no-snapshot     replay every branch from the root instead of
+ *                     forking copy-on-write checkpoints (A/B flag; the
+ *                     reports must be bit-identical either way)
  *   --json            machine-readable per-scenario report (stats incl.
  *                     sleep_skips / visited hits / mhp prunes + wall
  *                     time) on stdout instead of the text summary
@@ -61,6 +64,7 @@ struct Flags
     std::vector<std::string> oracles;
     bool naive = false;
     bool use_mhp = true;
+    bool use_snapshots = true;
     bool json = false;
     bool run_analysis = true;
     bool minimize = true;
@@ -113,6 +117,8 @@ parseFlags(int argc, char **argv)
             flags.naive = true;
         } else if (arg == "--no-mhp") {
             flags.use_mhp = false;
+        } else if (arg == "--no-snapshot") {
+            flags.use_snapshots = false;
         } else if (arg == "--json") {
             flags.json = true;
         } else if (arg == "--no-analysis") {
@@ -237,6 +243,15 @@ reportJson(const Flags &flags, const mc::Scenario &scenario,
     out += ", \"mhp_prunes\": " + std::to_string(stats.mhp_prunes);
     out += ", \"mhp_sleep_keeps\": " +
            std::to_string(stats.mhp_sleep_keeps);
+    out += ", \"snapshot\": ";
+    out += stats.snapshots_active ? "true" : "false";
+    out += ", \"snapshots_taken\": " +
+           std::to_string(stats.snapshots_taken);
+    out += ", \"snapshot_restores\": " +
+           std::to_string(stats.snapshot_restores);
+    out += ", \"events_replayed\": " +
+           std::to_string(stats.events_replayed);
+    out += ", \"events_saved\": " + std::to_string(stats.events_saved);
     out += ", \"truncated\": ";
     out += stats.truncated ? "true" : "false";
     char buf[40];
@@ -267,6 +282,7 @@ runExplore(const Flags &flags, const mc::Scenario &scenario)
     options.oracles = flags.oracles;
     options.run_analysis = flags.run_analysis;
     options.reduction = !flags.naive;
+    options.snapshots = flags.use_snapshots;
     const bool guided = flags.use_mhp && !flags.naive &&
                         !scenario.independence.empty();
     if (guided)
@@ -313,6 +329,20 @@ runExplore(const Flags &flags, const mc::Scenario &scenario)
         std::printf("  mhp sleep keeps   : %llu\n",
                     static_cast<unsigned long long>(
                         report.stats.mhp_sleep_keeps));
+    }
+    if (report.stats.snapshots_active) {
+        std::printf("  snapshots taken   : %llu\n",
+                    static_cast<unsigned long long>(
+                        report.stats.snapshots_taken));
+        std::printf("  snapshot restores : %llu\n",
+                    static_cast<unsigned long long>(
+                        report.stats.snapshot_restores));
+        std::printf("  events replayed   : %llu\n",
+                    static_cast<unsigned long long>(
+                        report.stats.events_replayed));
+        std::printf("  events saved      : %llu\n",
+                    static_cast<unsigned long long>(
+                        report.stats.events_saved));
     }
     std::printf("  wall time         : %.1f ms\n", wall_ms);
 
